@@ -1,0 +1,310 @@
+//! Experiment harness regenerating the paper's evaluation.
+//!
+//! One binary per table/figure (see `src/bin/`); this library holds the
+//! shared runners and reporting helpers. Every run is deterministic for
+//! a given seed. Results are printed as markdown tables and also written
+//! as CSV under `results/`.
+//!
+//! | binary | artifact |
+//! |--------|----------|
+//! | `fig08_cilk` | Figure 8: CilkApps execution-time breakdown |
+//! | `fig09_ustm_throughput` | Figure 9: ustm transactional throughput |
+//! | `fig10_ustm_breakdown` | Figure 10: per-transaction cycle breakdown |
+//! | `fig11_stamp` | Figure 11: STAMP execution time |
+//! | `fig12_scalability` | Figure 12: fence-stall ratio at 4–32 cores |
+//! | `table4_characterization` | Table 4: fence/BS/bounce/traffic stats |
+//! | `litmus_matrix` | Figures 1/3/4 scenarios under every design |
+//! | `ablations` | extension sweeps (BS size, timeout, backoff, mesh) |
+//! | `all_experiments` | everything above, in sequence |
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use asymfence::prelude::*;
+use asymfence_workloads::cilk::{self, CilkApp};
+use asymfence_workloads::stamp::{self, StampApp};
+use asymfence_workloads::tlrw;
+use asymfence_workloads::ustm::{self, UstmBench};
+
+/// Designs compared in the figures, in the paper's order.
+pub const DESIGNS: [FenceDesign; 4] = [
+    FenceDesign::SPlus,
+    FenceDesign::WsPlus,
+    FenceDesign::WPlus,
+    FenceDesign::Wee,
+];
+
+/// Default seed for every experiment (the paper's publication year).
+pub const SEED: u64 = 2015;
+
+/// Simulated-cycle window for throughput (ustm) runs.
+pub const USTM_WINDOW: u64 = 1_500_000;
+
+/// Hard ceiling for finite runs.
+pub const MAX_CYCLES: u64 = 4_000_000_000;
+
+/// Scale factor for quick runs (`ASF_QUICK=1` in the environment or
+/// `--quick` on the command line shrinks workloads ~4x).
+pub fn quick() -> bool {
+    std::env::var("ASF_QUICK").is_ok_and(|v| v != "0")
+        || std::env::args().any(|a| a == "--quick")
+}
+
+/// One run's outcome: cycle count plus merged statistics.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Wall-clock cycles of the run.
+    pub cycles: u64,
+    /// Merged machine statistics.
+    pub stats: MachineStats,
+    /// Committed transactions (STM runs only).
+    pub commits: u64,
+    /// Aborted transactions (STM runs only).
+    pub aborts: u64,
+}
+
+impl RunResult {
+    /// Busy / fence / other shares of non-idle core time.
+    pub fn breakdown(&self) -> (f64, f64, f64) {
+        let a = self.stats.aggregate();
+        let active = (a.busy_cycles + a.fence_stall_cycles + a.other_stall_cycles).max(1);
+        (
+            a.busy_cycles as f64 / active as f64,
+            a.fence_stall_cycles as f64 / active as f64,
+            a.other_stall_cycles as f64 / active as f64,
+        )
+    }
+}
+
+fn config(design: FenceDesign, cores: usize) -> MachineConfig {
+    MachineConfig::builder()
+        .cores(cores)
+        .fence_design(design)
+        .seed(SEED)
+        .build()
+}
+
+/// Runs one CilkApp to completion.
+///
+/// # Panics
+///
+/// Panics if the run deadlocks or exceeds the cycle ceiling.
+pub fn run_cilk(app: CilkApp, design: FenceDesign, cores: usize, seed: u64) -> RunResult {
+    let cfg = config(design, cores);
+    let mut m = Machine::new(&cfg);
+    cilk::setup(&mut m, app, seed);
+    let outcome = m.run(MAX_CYCLES);
+    assert_eq!(
+        outcome,
+        RunOutcome::Finished,
+        "{} under {design} did not finish",
+        app.name()
+    );
+    RunResult {
+        cycles: m.now(),
+        stats: m.stats(),
+        commits: 0,
+        aborts: 0,
+    }
+}
+
+/// Runs one ustm microbenchmark for a fixed simulated window and counts
+/// committed transactions.
+pub fn run_ustm(
+    bench: UstmBench,
+    design: FenceDesign,
+    cores: usize,
+    seed: u64,
+    window: u64,
+) -> RunResult {
+    let cfg = config(design, cores);
+    let mut m = Machine::new(&cfg);
+    ustm::install(&mut m, bench, seed, None);
+    let outcome = m.run(window);
+    assert_ne!(outcome, RunOutcome::Deadlocked, "{}: deadlock", bench.name());
+    let (commits, aborts) = tlrw::tally(&m);
+    RunResult {
+        cycles: m.now(),
+        stats: m.stats(),
+        commits,
+        aborts,
+    }
+}
+
+/// Runs one STAMP app to completion.
+///
+/// # Panics
+///
+/// Panics if the run deadlocks or exceeds the cycle ceiling.
+pub fn run_stamp(app: StampApp, design: FenceDesign, cores: usize, seed: u64) -> RunResult {
+    let cfg = config(design, cores);
+    let mut m = Machine::new(&cfg);
+    stamp::install(&mut m, app, seed);
+    let outcome = m.run(MAX_CYCLES);
+    assert_eq!(
+        outcome,
+        RunOutcome::Finished,
+        "{} under {design} did not finish",
+        app.name()
+    );
+    let (commits, aborts) = tlrw::tally(&m);
+    RunResult {
+        cycles: m.now(),
+        stats: m.stats(),
+        commits,
+        aborts,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Reporting
+// ----------------------------------------------------------------------
+
+/// A markdown/CSV table builder.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column names.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Renders github-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut s = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                let _ = write!(line, " {c:<w$} |");
+            }
+            line
+        };
+        let _ = writeln!(s, "{}", fmt_row(&self.header, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{:-<1$}|", "", w + 2);
+        }
+        let _ = writeln!(s, "{sep}");
+        for r in &self.rows {
+            let _ = writeln!(s, "{}", fmt_row(r, &widths));
+        }
+        s
+    }
+
+    /// Renders CSV.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::new();
+        let esc = |c: &String| {
+            if c.contains(',') {
+                format!("\"{c}\"")
+            } else {
+                c.clone()
+            }
+        };
+        let _ = writeln!(s, "{}", self.header.iter().map(esc).collect::<Vec<_>>().join(","));
+        for r in &self.rows {
+            let _ = writeln!(s, "{}", r.iter().map(esc).collect::<Vec<_>>().join(","));
+        }
+        s
+    }
+
+    /// Prints the markdown and writes `results/<name>.csv`.
+    pub fn emit(&self, name: &str) {
+        println!("{}", self.to_markdown());
+        let dir = Path::new("results");
+        if fs::create_dir_all(dir).is_ok() {
+            let path = dir.join(format!("{name}.csv"));
+            if let Err(e) = fs::write(&path, self.to_csv()) {
+                eprintln!("note: could not write {}: {e}", path.display());
+            } else {
+                println!("(csv written to {})\n", path.display());
+            }
+        }
+    }
+}
+
+/// Formats a ratio as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Geometric-mean helper used for the headline averages.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_markdown_and_csv() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1", "hello,world"]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a"));
+        assert!(md.lines().count() == 3);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"hello,world\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn table_rejects_wrong_arity() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1", "2"]);
+    }
+
+    #[test]
+    fn cilk_runner_smoke() {
+        let r = run_cilk(CilkApp::Fib, FenceDesign::WsPlus, 2, 7);
+        assert!(r.cycles > 0);
+        let (busy, fence, other) = r.breakdown();
+        assert!((busy + fence + other - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ustm_runner_smoke() {
+        let r = run_ustm(UstmBench::Hash, FenceDesign::SPlus, 2, 7, 150_000);
+        assert!(r.commits > 0);
+    }
+
+    #[test]
+    fn mean_of_values() {
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

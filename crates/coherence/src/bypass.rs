@@ -1,0 +1,238 @@
+//! The Bypass Set (BS).
+//!
+//! A small hardware list in each cache controller holding the addresses of
+//! post-weak-fence accesses that retired and completed before their fence
+//! completed. Incoming write transactions that match a BS entry are
+//! rejected ("bounced") so the early completion can never become visible
+//! as an SC violation.
+//!
+//! Matching is at **line** granularity by default; the SW+ design keeps
+//! per-word information so a Conditional Order can distinguish true from
+//! false sharing. Entries are tagged with the serial number of the weak
+//! fence that created them and are removed when that fence completes.
+
+use asymfence_common::ids::LineAddr;
+
+/// One Bypass-Set entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BsEntry {
+    /// Line address of the early-completed access.
+    pub line: LineAddr,
+    /// Word mask of the access within the line (used only by SW+).
+    pub word_mask: u32,
+    /// Serial of the youngest incomplete weak fence preceding the access;
+    /// the entry lives until all fences with serial `<= epoch` complete.
+    pub epoch: u64,
+}
+
+/// Result of matching an incoming write against the Bypass Set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BsMatch {
+    /// Some entry shares the line.
+    pub line_match: bool,
+    /// Some entry shares at least one written word (true sharing).
+    pub word_match: bool,
+}
+
+/// A per-core Bypass Set with a hard capacity (paper: 32 entries).
+#[derive(Clone, Debug)]
+pub struct BypassSet {
+    entries: Vec<BsEntry>,
+    capacity: usize,
+    /// Sticky flag: the BS bounced an incoming request since the last
+    /// [`BypassSet::take_bounced_flag`] (the W+ timeout trigger).
+    bounced_flag: bool,
+    /// Peak occupancy ever observed.
+    peak: usize,
+}
+
+impl BypassSet {
+    /// Creates an empty Bypass Set with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "BypassSet capacity must be nonzero");
+        BypassSet {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            bounced_flag: false,
+            peak: 0,
+        }
+    }
+
+    /// Inserts an entry; merges word masks with an existing same-line,
+    /// same-epoch entry.
+    ///
+    /// Returns `false` if the set is full (the fence must then degrade to
+    /// a strong fence for this access — an ablation knob, it never happens
+    /// with the paper's 32 entries and 3–5 line working sets).
+    pub fn insert(&mut self, line: LineAddr, word_mask: u32, epoch: u64) -> bool {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.line == line && e.epoch == epoch)
+        {
+            e.word_mask |= word_mask;
+            return true;
+        }
+        if self.entries.len() >= self.capacity {
+            return false;
+        }
+        self.entries.push(BsEntry {
+            line,
+            word_mask,
+            epoch,
+        });
+        self.peak = self.peak.max(self.entries.len());
+        true
+    }
+
+    /// Matches an incoming write (line + written-word mask).
+    pub fn check(&self, line: LineAddr, word_mask: u32) -> BsMatch {
+        let mut m = BsMatch {
+            line_match: false,
+            word_match: false,
+        };
+        for e in &self.entries {
+            if e.line == line {
+                m.line_match = true;
+                if e.word_mask & word_mask != 0 {
+                    m.word_match = true;
+                }
+            }
+        }
+        m
+    }
+
+    /// Whether any entry references `line` (used by evictions).
+    pub fn holds_line(&self, line: LineAddr) -> bool {
+        self.entries.iter().any(|e| e.line == line)
+    }
+
+    /// Removes entries whose fence epoch is `<= completed_epoch`.
+    pub fn clear_completed(&mut self, completed_epoch: u64) {
+        self.entries.retain(|e| e.epoch > completed_epoch);
+    }
+
+    /// Removes everything (W+ rollback).
+    pub fn clear_all(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of distinct lines currently covered.
+    pub fn distinct_lines(&self) -> usize {
+        let mut lines: Vec<LineAddr> = self.entries.iter().map(|e| e.line).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines.len()
+    }
+
+    /// Peak occupancy since construction.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Records that the BS bounced an incoming request.
+    pub fn note_bounce(&mut self) {
+        self.bounced_flag = true;
+    }
+
+    /// Returns and clears the "bounced something" flag.
+    pub fn take_bounced_flag(&mut self) -> bool {
+        std::mem::take(&mut self.bounced_flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::from_raw(n)
+    }
+
+    #[test]
+    fn insert_and_match_line_granularity() {
+        let mut bs = BypassSet::new(4);
+        assert!(bs.insert(line(1), 0b0001, 0));
+        let m = bs.check(line(1), 0b1000);
+        assert!(m.line_match, "same line, different word still matches line");
+        assert!(!m.word_match);
+        let m = bs.check(line(2), 0b0001);
+        assert!(!m.line_match && !m.word_match);
+    }
+
+    #[test]
+    fn word_match_detects_true_sharing() {
+        let mut bs = BypassSet::new(4);
+        bs.insert(line(1), 0b0011, 0);
+        assert!(bs.check(line(1), 0b0010).word_match);
+        assert!(!bs.check(line(1), 0b0100).word_match);
+    }
+
+    #[test]
+    fn same_line_entries_merge_masks() {
+        let mut bs = BypassSet::new(1);
+        assert!(bs.insert(line(1), 0b0001, 0));
+        assert!(bs.insert(line(1), 0b0010, 0), "merge, not a new entry");
+        assert_eq!(bs.len(), 1);
+        assert!(bs.check(line(1), 0b0010).word_match);
+        assert!(bs.check(line(1), 0b0001).word_match);
+    }
+
+    #[test]
+    fn capacity_overflow_reports_false() {
+        let mut bs = BypassSet::new(2);
+        assert!(bs.insert(line(1), 1, 0));
+        assert!(bs.insert(line(2), 1, 0));
+        assert!(!bs.insert(line(3), 1, 0));
+        assert_eq!(bs.len(), 2);
+        assert_eq!(bs.peak(), 2);
+    }
+
+    #[test]
+    fn epoch_clearing_is_selective() {
+        let mut bs = BypassSet::new(8);
+        bs.insert(line(1), 1, 1);
+        bs.insert(line(2), 1, 2);
+        bs.insert(line(3), 1, 3);
+        bs.clear_completed(2);
+        assert!(!bs.holds_line(line(1)));
+        assert!(!bs.holds_line(line(2)));
+        assert!(bs.holds_line(line(3)));
+        bs.clear_all();
+        assert!(bs.is_empty());
+    }
+
+    #[test]
+    fn distinct_lines_dedup_across_epochs() {
+        let mut bs = BypassSet::new(8);
+        bs.insert(line(1), 1, 1);
+        bs.insert(line(1), 2, 2); // same line, different fence
+        bs.insert(line(2), 1, 2);
+        assert_eq!(bs.len(), 3);
+        assert_eq!(bs.distinct_lines(), 2);
+    }
+
+    #[test]
+    fn bounce_flag_is_sticky_until_taken() {
+        let mut bs = BypassSet::new(2);
+        assert!(!bs.take_bounced_flag());
+        bs.note_bounce();
+        bs.note_bounce();
+        assert!(bs.take_bounced_flag());
+        assert!(!bs.take_bounced_flag());
+    }
+}

@@ -1,0 +1,245 @@
+//! Private L1 data cache: set-associative, LRU, MESI stable states.
+
+use asymfence_common::ids::LineAddr;
+
+use crate::msg::LineData;
+
+/// MESI stable states of an L1 line (`I` is represented by absence).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum L1State {
+    /// Shared, clean.
+    S,
+    /// Exclusive, clean.
+    E,
+    /// Modified, dirty.
+    M,
+}
+
+impl L1State {
+    /// Whether a store can hit this state without a coherence transaction.
+    pub fn writable(self) -> bool {
+        matches!(self, L1State::E | L1State::M)
+    }
+}
+
+/// One resident line.
+#[derive(Clone, Debug)]
+pub struct L1Line {
+    /// Line address.
+    pub line: LineAddr,
+    /// Coherence state.
+    pub state: L1State,
+    /// Word values.
+    pub data: LineData,
+    lru: u64,
+}
+
+/// What an insertion displaced.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Evicted {
+    /// Victim line address.
+    pub line: LineAddr,
+    /// Dirty data needing a writeback, if the victim was Modified.
+    pub dirty: Option<LineData>,
+}
+
+/// A set-associative, true-LRU L1 cache.
+///
+/// # Examples
+///
+/// ```
+/// use asymfence_coherence::l1::{L1Cache, L1State};
+/// use asymfence_common::ids::LineAddr;
+///
+/// let mut l1 = L1Cache::new(2, 2, 4);
+/// l1.insert(LineAddr::from_raw(0), L1State::E, vec![0; 4]);
+/// assert!(l1.lookup(LineAddr::from_raw(0)).is_some());
+/// assert!(l1.lookup(LineAddr::from_raw(2)).is_none()); // same set, absent
+/// ```
+#[derive(Clone, Debug)]
+pub struct L1Cache {
+    sets: Vec<Vec<L1Line>>,
+    ways: usize,
+    clock: u64,
+}
+
+impl L1Cache {
+    /// Creates a cache of `sets x ways` lines of `words_per_line` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(sets: usize, ways: usize, words_per_line: usize) -> Self {
+        assert!(sets > 0 && ways > 0 && words_per_line > 0);
+        L1Cache {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            clock: 0,
+        }
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.raw() % self.sets.len() as u64) as usize
+    }
+
+    /// Finds a resident line and refreshes its LRU position.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<&mut L1Line> {
+        self.clock += 1;
+        let clock = self.clock;
+        let idx = self.set_index(line);
+        let entry = self.sets[idx].iter_mut().find(|l| l.line == line)?;
+        entry.lru = clock;
+        Some(entry)
+    }
+
+    /// Finds a resident line without touching LRU state.
+    pub fn peek(&self, line: LineAddr) -> Option<&L1Line> {
+        let idx = self.set_index(line);
+        self.sets[idx].iter().find(|l| l.line == line)
+    }
+
+    /// Inserts (or replaces) a line, returning any displaced victim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` length differs from other lines' word counts.
+    pub fn insert(&mut self, line: LineAddr, state: L1State, data: LineData) -> Option<Evicted> {
+        self.clock += 1;
+        let clock = self.clock;
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        if let Some(existing) = set.iter_mut().find(|l| l.line == line) {
+            existing.state = state;
+            existing.data = data;
+            existing.lru = clock;
+            return None;
+        }
+        let mut evicted = None;
+        if set.len() >= self.ways {
+            let victim_pos = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("nonempty set");
+            let victim = set.swap_remove(victim_pos);
+            evicted = Some(Evicted {
+                line: victim.line,
+                dirty: (victim.state == L1State::M).then_some(victim.data),
+            });
+        }
+        set.push(L1Line {
+            line,
+            state,
+            data,
+            lru: clock,
+        });
+        evicted
+    }
+
+    /// Removes a line, returning dirty data if it was Modified.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<LineData> {
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        let pos = set.iter().position(|l| l.line == line)?;
+        let victim = set.swap_remove(pos);
+        (victim.state == L1State::M).then_some(victim.data)
+    }
+
+    /// Downgrades an owner line to Shared, returning dirty data if it was
+    /// Modified. Returns `None` if the line is absent.
+    pub fn downgrade(&mut self, line: LineAddr) -> Option<Option<LineData>> {
+        let idx = self.set_index(line);
+        let entry = self.sets[idx].iter_mut().find(|l| l.line == line)?;
+        let dirty = (entry.state == L1State::M).then(|| entry.data.clone());
+        entry.state = L1State::S;
+        Some(dirty)
+    }
+
+    /// Number of resident lines (for tests/stats).
+    pub fn resident(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn la(n: u64) -> LineAddr {
+        LineAddr::from_raw(n)
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut l1 = L1Cache::new(1, 2, 1);
+        l1.insert(la(1), L1State::S, vec![1]);
+        l1.insert(la(2), L1State::S, vec![2]);
+        l1.lookup(la(1)); // touch 1 so 2 is LRU
+        let ev = l1.insert(la(3), L1State::S, vec![3]).expect("eviction");
+        assert_eq!(ev.line, la(2));
+        assert_eq!(ev.dirty, None, "clean eviction is silent");
+        assert!(l1.peek(la(1)).is_some());
+        assert!(l1.peek(la(2)).is_none());
+    }
+
+    #[test]
+    fn dirty_eviction_returns_data() {
+        let mut l1 = L1Cache::new(1, 1, 2);
+        l1.insert(la(1), L1State::M, vec![7, 8]);
+        let ev = l1.insert(la(2), L1State::S, vec![0, 0]).expect("eviction");
+        assert_eq!(ev.line, la(1));
+        assert_eq!(ev.dirty, Some(vec![7, 8]));
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut l1 = L1Cache::new(1, 1, 1);
+        l1.insert(la(1), L1State::S, vec![1]);
+        assert!(l1.insert(la(1), L1State::M, vec![2]).is_none());
+        let line = l1.peek(la(1)).unwrap();
+        assert_eq!(line.state, L1State::M);
+        assert_eq!(line.data, vec![2]);
+        assert_eq!(l1.resident(), 1);
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut l1 = L1Cache::new(2, 2, 1);
+        l1.insert(la(0), L1State::M, vec![9]);
+        l1.insert(la(1), L1State::S, vec![4]);
+        assert_eq!(l1.invalidate(la(0)), Some(vec![9]));
+        assert_eq!(l1.invalidate(la(1)), None);
+        assert_eq!(l1.invalidate(la(5)), None, "absent line");
+        assert_eq!(l1.resident(), 0);
+    }
+
+    #[test]
+    fn downgrade_keeps_line_shared() {
+        let mut l1 = L1Cache::new(1, 2, 1);
+        l1.insert(la(1), L1State::M, vec![3]);
+        assert_eq!(l1.downgrade(la(1)), Some(Some(vec![3])));
+        assert_eq!(l1.peek(la(1)).unwrap().state, L1State::S);
+        assert_eq!(l1.downgrade(la(1)), Some(None), "already clean");
+        assert_eq!(l1.downgrade(la(9)), None, "absent");
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut l1 = L1Cache::new(2, 1, 1);
+        l1.insert(la(0), L1State::S, vec![0]); // set 0
+        l1.insert(la(1), L1State::S, vec![1]); // set 1
+        assert_eq!(l1.resident(), 2);
+        // Same set as line 0 evicts only from set 0.
+        let ev = l1.insert(la(2), L1State::S, vec![2]).unwrap();
+        assert_eq!(ev.line, la(0));
+        assert!(l1.peek(la(1)).is_some());
+    }
+
+    #[test]
+    fn writable_states() {
+        assert!(!L1State::S.writable());
+        assert!(L1State::E.writable());
+        assert!(L1State::M.writable());
+    }
+}

@@ -1,0 +1,345 @@
+//! Coherence protocol messages.
+//!
+//! The protocol is a full-map directory MESI with the paper's extensions:
+//!
+//! * invalidations may **bounce** off a Bypass Set (`InvAck { bounced }`),
+//! * write requests may carry the **Order** bit or a **Conditional Order**
+//!   word mask (the request then carries its update so the directory can
+//!   merge it into memory),
+//! * sharers may ask to be **kept as sharers** after invalidation,
+//! * writebacks can request keep-as-sharer (dirty eviction of a line whose
+//!   address sits in the Bypass Set, paper §5.1),
+//! * the WeeFence comparison design adds GRT deposit/read/remove traffic.
+
+use asymfence_common::ids::{CoreId, LineAddr};
+
+/// The paper's Order modes attached to a write request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OrderMode {
+    /// Plain write: a Bypass-Set hit bounces it.
+    #[default]
+    None,
+    /// WS+ Order operation: completes past Bypass Sets, keeping matching
+    /// caches as sharers.
+    Order,
+    /// SW+ Conditional Order: like Order, but fails if any Bypass-Set match
+    /// is on the same *words* (true sharing).
+    CondOrder,
+}
+
+/// A word-granularity update carried by an Order/Conditional-Order request
+/// (and by every `GetX`, so the directory can merge it on an Order).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WordUpdate {
+    /// Word index within the line.
+    pub word: u8,
+    /// New value.
+    pub value: u64,
+}
+
+/// Atomic read-modify-write operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RmwKind {
+    /// Unconditionally writes the operand, returning the old value.
+    Swap(u64),
+    /// Adds the operand, returning the old value.
+    Add(u64),
+    /// Compare-and-swap: writes `new` only if the old value equals
+    /// `expect`; returns the old value either way.
+    Cas {
+        /// Expected old value.
+        expect: u64,
+        /// Replacement value.
+        new: u64,
+    },
+}
+
+impl RmwKind {
+    /// The value stored given the old value, or `None` if the RMW does not
+    /// write (failed CAS).
+    pub fn apply(self, old: u64) -> Option<u64> {
+        match self {
+            RmwKind::Swap(v) => Some(v),
+            RmwKind::Add(v) => Some(old.wrapping_add(v)),
+            RmwKind::Cas { expect, new } => (old == expect).then_some(new),
+        }
+    }
+}
+
+/// Line data payload (one value per word).
+pub type LineData = Vec<u64>;
+
+/// Protocol messages exchanged between L1 controllers and directory banks.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    // ------------------------------------------------------- core -> dir
+    /// Read request.
+    GetS {
+        /// Requesting core.
+        core: CoreId,
+        /// Requested line.
+        line: LineAddr,
+    },
+    /// Write/upgrade request. Carries the update so Order can merge it.
+    GetX {
+        /// Requesting core.
+        core: CoreId,
+        /// Requested line.
+        line: LineAddr,
+        /// The words this write will modify.
+        updates: Vec<WordUpdate>,
+        /// Order mode for this attempt.
+        order: OrderMode,
+        /// Retry attempt number (0 = first try); used for traffic split.
+        attempt: u32,
+    },
+    /// Dirty writeback. `keep_sharer` implements paper §5.1.
+    PutM {
+        /// Evicting core.
+        core: CoreId,
+        /// Evicted line.
+        line: LineAddr,
+        /// Dirty data.
+        data: LineData,
+        /// Keep the evicting node in the sharer list.
+        keep_sharer: bool,
+    },
+    /// Wee: deposit this core's Pending Set and read everyone else's.
+    GrtDepositAndRead {
+        /// Depositing core.
+        core: CoreId,
+        /// Fence identifier, echoed in the reply.
+        fence_serial: u64,
+        /// Pending-set lines.
+        ps: Vec<LineAddr>,
+    },
+    /// Wee: read the remote Pending Sets registered at this bank (the
+    /// second phase of fence arming; the deposit went to the fence's own
+    /// bank first).
+    GrtRead {
+        /// Reading core.
+        core: CoreId,
+        /// Fence identifier, echoed in the reply.
+        fence_serial: u64,
+    },
+    /// Wee: fence completed, drop that fence's Pending Set.
+    GrtRemove {
+        /// Core whose fence completed.
+        core: CoreId,
+        /// The completed fence (a core may have several fences open).
+        fence_serial: u64,
+    },
+    /// Fill confirmation: the requester received its data grant, so the
+    /// directory may release the line's busy state. (The classic
+    /// "Unblock" of directory protocols — without it a second writer
+    /// could be granted ownership while the first grant is in flight.)
+    Unblock {
+        /// Core that received the grant.
+        core: CoreId,
+        /// Line.
+        line: LineAddr,
+    },
+
+    // ------------------------------------------------------- dir -> core
+    /// Read data, shared state.
+    DataS {
+        /// Filled line.
+        line: LineAddr,
+        /// Line contents.
+        data: LineData,
+    },
+    /// Read data, exclusive state (no other sharer).
+    DataE {
+        /// Filled line.
+        line: LineAddr,
+        /// Line contents.
+        data: LineData,
+    },
+    /// Write data, modified state (plain GetX success).
+    DataM {
+        /// Filled line.
+        line: LineAddr,
+        /// Line contents (pre-merge; the L1 applies the store).
+        data: LineData,
+    },
+    /// Order / Conditional-Order success: the update was merged into
+    /// memory and the requester holds the line Shared.
+    OrderDone {
+        /// Line.
+        line: LineAddr,
+        /// Post-merge contents.
+        data: LineData,
+    },
+    /// The write bounced off at least one Bypass Set (or a Conditional
+    /// Order hit true sharing). Retry later.
+    NackBounce {
+        /// Line.
+        line: LineAddr,
+    },
+    /// The directory had a transaction in flight for this line; retry soon
+    /// (not a Bypass-Set bounce).
+    NackBusy {
+        /// Line.
+        line: LineAddr,
+    },
+    /// Wee: combined remote Pending Sets registered at this bank.
+    GrtReply {
+        /// Echoed fence identifier.
+        fence_serial: u64,
+        /// Union of other cores' Pending Sets at this bank.
+        remote_ps: Vec<LineAddr>,
+    },
+
+    // ---------------------------------------------------- dir -> sharer
+    /// Invalidate (or bounce) a cached copy on behalf of a writer.
+    Inv {
+        /// Line to invalidate.
+        line: LineAddr,
+        /// The writing core (never invalidated).
+        requester: CoreId,
+        /// Order mode of the write.
+        order: OrderMode,
+        /// Word mask of the write (Conditional Order true-sharing test).
+        word_mask: u32,
+    },
+    /// Ask the M/E owner to downgrade to Shared and return data.
+    FetchDowngrade {
+        /// Line.
+        line: LineAddr,
+    },
+
+    // ---------------------------------------------------- sharer -> dir
+    /// Reply to `Inv`.
+    InvAck {
+        /// Responding core.
+        core: CoreId,
+        /// Line.
+        line: LineAddr,
+        /// The Bypass Set rejected the invalidation; the copy was *not*
+        /// invalidated and the write must be NACKed.
+        bounced: bool,
+        /// The copy was invalidated but the core must stay a sharer
+        /// (Bypass-Set match under Order/Conditional Order).
+        keep_sharer: bool,
+        /// Under Conditional Order: the Bypass-Set match overlapped the
+        /// written words.
+        true_share: bool,
+        /// Dirty data, if the responder was the owner.
+        data: Option<LineData>,
+    },
+    /// Reply to `FetchDowngrade`.
+    DowngradeAck {
+        /// Responding core.
+        core: CoreId,
+        /// Line.
+        line: LineAddr,
+        /// Dirty data (`None` if the line was already gone: a racing
+        /// writeback carries it instead).
+        data: Option<LineData>,
+    },
+}
+
+/// Byte-size model for traffic accounting: 8 B header + 8 B address, plus
+/// 8 B per carried word and the full line for data messages.
+pub fn msg_bytes(msg: &Msg, line_bytes: u64) -> u64 {
+    const HDR: u64 = 16;
+    match msg {
+        Msg::GetS { .. }
+        | Msg::GrtRead { .. }
+        | Msg::GrtRemove { .. }
+        | Msg::NackBounce { .. }
+        | Msg::NackBusy { .. }
+        | Msg::Inv { .. }
+        | Msg::FetchDowngrade { .. }
+        | Msg::Unblock { .. } => HDR,
+        Msg::GetX { updates, .. } => HDR + 8 * updates.len() as u64,
+        Msg::PutM { .. } => HDR + line_bytes,
+        Msg::DataS { .. } | Msg::DataE { .. } | Msg::DataM { .. } | Msg::OrderDone { .. } => {
+            HDR + line_bytes
+        }
+        Msg::GrtDepositAndRead { ps, .. } => HDR + 8 * ps.len() as u64,
+        Msg::GrtReply { remote_ps, .. } => HDR + 8 * remote_ps.len() as u64,
+        Msg::InvAck { data, .. } | Msg::DowngradeAck { data, .. } => {
+            HDR + data.as_ref().map_or(0, |_| line_bytes)
+        }
+    }
+}
+
+/// Whether a message is bounce-retry traffic (Table 4 accounting).
+///
+/// `NackBusy` and its resends are ordinary protocol serialization (they
+/// exist in the baseline too), so only Bypass-Set bounces and the retries
+/// they trigger count.
+pub fn msg_is_retry(msg: &Msg) -> bool {
+    match msg {
+        Msg::GetX { attempt, .. } => *attempt > 0,
+        Msg::NackBounce { .. } => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asymfence_common::ids::{Addr, CoreId};
+
+    #[test]
+    fn rmw_apply_semantics() {
+        assert_eq!(RmwKind::Swap(5).apply(9), Some(5));
+        assert_eq!(RmwKind::Add(3).apply(u64::MAX), Some(2));
+        assert_eq!(RmwKind::Cas { expect: 1, new: 7 }.apply(1), Some(7));
+        assert_eq!(RmwKind::Cas { expect: 1, new: 7 }.apply(2), None);
+    }
+
+    #[test]
+    fn message_sizes() {
+        let line = LineAddr::containing(Addr::new(0), 32);
+        let c = CoreId(0);
+        assert_eq!(msg_bytes(&Msg::GetS { core: c, line }, 32), 16);
+        assert_eq!(
+            msg_bytes(
+                &Msg::GetX {
+                    core: c,
+                    line,
+                    updates: vec![WordUpdate { word: 0, value: 1 }],
+                    order: OrderMode::None,
+                    attempt: 0
+                },
+                32
+            ),
+            24
+        );
+        assert_eq!(msg_bytes(&Msg::DataM { line, data: vec![0; 4] }, 32), 48);
+        assert_eq!(
+            msg_bytes(
+                &Msg::InvAck {
+                    core: c,
+                    line,
+                    bounced: false,
+                    keep_sharer: false,
+                    true_share: false,
+                    data: None
+                },
+                32
+            ),
+            16
+        );
+    }
+
+    #[test]
+    fn retry_classification() {
+        let line = LineAddr::from_raw(1);
+        assert!(msg_is_retry(&Msg::NackBounce { line }));
+        assert!(!msg_is_retry(&Msg::NackBusy { line }));
+        assert!(!msg_is_retry(&Msg::GetS { core: CoreId(0), line }));
+        let gx = |attempt| Msg::GetX {
+            core: CoreId(0),
+            line,
+            updates: vec![],
+            order: OrderMode::None,
+            attempt,
+        };
+        assert!(!msg_is_retry(&gx(0)));
+        assert!(msg_is_retry(&gx(2)));
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests of the coherence substrate: the memory system
+//! must behave like a single serializable memory no matter how requests
+//! interleave.
+
+use proptest::prelude::*;
+
+use asymfence_coherence::mem::{MemEvent, MemSystem};
+use asymfence_coherence::RmwKind;
+use asymfence_common::config::MachineConfig;
+use asymfence_common::ids::{Addr, CoreId};
+
+fn cfg(cores: usize) -> MachineConfig {
+    MachineConfig::builder().cores(cores).build()
+}
+
+/// Drives the memory system until idle, collecting events per core.
+fn run_to_idle(ms: &mut MemSystem, start: u64, limit: u64) -> Vec<(usize, MemEvent)> {
+    let mut events = Vec::new();
+    for t in start..start + limit {
+        ms.tick(t);
+        for c in 0..ms.config().num_cores {
+            while let Some(ev) = ms.pop_event(CoreId(c)) {
+                events.push((c, ev));
+            }
+        }
+        if ms.is_idle() {
+            break;
+        }
+    }
+    assert!(ms.is_idle(), "memory system must quiesce");
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Single-core sequential semantics: a serial run of stores and loads
+    /// matches a simple map model.
+    #[test]
+    fn single_core_matches_memory_model(
+        ops in prop::collection::vec((0u64..16, 0u64..1000, prop::bool::ANY), 1..40)
+    ) {
+        let mut ms = MemSystem::new(&cfg(2));
+        let mut model = std::collections::HashMap::new();
+        let mut t = 0u64;
+        for (slot, value, is_store) in ops {
+            let addr = Addr::new(slot * 8);
+            if is_store {
+                ms.issue_store(t, CoreId(0), addr, value);
+                let evs = run_to_idle(&mut ms, t, 5_000);
+                let store_done = evs.iter().any(|(_, e)| matches!(e, MemEvent::StoreDone { .. }));
+                prop_assert!(store_done);
+                model.insert(slot, value);
+            } else {
+                let tok = ms.issue_load(t, CoreId(0), addr);
+                let evs = run_to_idle(&mut ms, t, 5_000);
+                let got = evs.iter().find_map(|(_, e)| match e {
+                    MemEvent::LoadDone { token, value } if *token == tok => Some(*value),
+                    _ => None,
+                });
+                prop_assert_eq!(got, Some(*model.get(&slot).unwrap_or(&0)));
+            }
+            t += 5_000;
+        }
+    }
+
+    /// Write serialization: concurrent stores from many cores to random
+    /// addresses leave every word holding one of the values written to it.
+    #[test]
+    fn concurrent_stores_serialize(
+        writes in prop::collection::vec((0usize..4, 0u64..6, 1u64..1000), 4..32)
+    ) {
+        let mut ms = MemSystem::new(&cfg(4));
+        let mut per_core_busy = [false; 4];
+        // Issue at most one store per core at a time (TSO write buffer).
+        let mut t = 0u64;
+        let mut written: std::collections::HashMap<u64, Vec<u64>> = std::collections::HashMap::new();
+        for (core, slot, value) in writes {
+            if per_core_busy[core] {
+                // Drain everything before reusing the core.
+                run_to_idle(&mut ms, t, 200_000);
+                per_core_busy = [false; 4];
+                t += 200_000;
+            }
+            ms.issue_store(t, CoreId(core), Addr::new(slot * 8), value);
+            per_core_busy[core] = true;
+            written.entry(slot).or_default().push(value);
+            t += 3; // slight stagger
+        }
+        run_to_idle(&mut ms, t, 400_000);
+        for (slot, values) in &written {
+            let final_v = ms.backdoor_read(Addr::new(slot * 8));
+            prop_assert!(
+                values.contains(&final_v),
+                "slot {slot} holds {final_v}, not among {values:?}"
+            );
+        }
+    }
+
+    /// Atomicity: N concurrent fetch-add(1) streams to one word sum
+    /// exactly.
+    #[test]
+    fn rmw_add_is_atomic(per_core in 1u64..6) {
+        let cores = 4usize;
+        let mut ms = MemSystem::new(&cfg(cores));
+        let addr = Addr::new(0x40);
+        let mut remaining: Vec<u64> = vec![per_core; cores];
+        let mut outstanding: Vec<Option<u64>> = vec![None; cores];
+        let mut done = 0;
+        let mut t = 0u64;
+        while done < cores {
+            for c in 0..cores {
+                if outstanding[c].is_none() && remaining[c] > 0 {
+                    outstanding[c] = Some(ms.issue_rmw(t, CoreId(c), addr, RmwKind::Add(1)));
+                }
+            }
+            ms.tick(t);
+            for c in 0..cores {
+                while let Some(ev) = ms.pop_event(CoreId(c)) {
+                    if let MemEvent::RmwDone { token, .. } = ev {
+                        if outstanding[c] == Some(token) {
+                            outstanding[c] = None;
+                            remaining[c] -= 1;
+                            if remaining[c] == 0 {
+                                done += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            t += 1;
+            prop_assert!(t < 2_000_000, "RMW streams must make progress");
+        }
+        run_to_idle(&mut ms, t, 100_000);
+        prop_assert_eq!(ms.backdoor_read(addr), per_core * cores as u64);
+    }
+
+    /// A Bypass-Set entry always bounces conflicting writes until cleared,
+    /// and the write always completes afterwards.
+    #[test]
+    fn bounce_then_complete(slot in 0u64..32, value in 1u64..100) {
+        let mut ms = MemSystem::new(&cfg(2));
+        let addr = Addr::new(slot * 8);
+        let line = asymfence_common::ids::LineAddr::containing(addr, 32);
+        // Core 1 reads and protects the line.
+        ms.issue_load(0, CoreId(1), addr);
+        run_to_idle(&mut ms, 0, 10_000);
+        ms.bs_insert(CoreId(1), line, 1, 1);
+        // Core 0 writes: must bounce at least once.
+        let tok = ms.issue_store(10_000, CoreId(0), addr, value);
+        let mut bounced = false;
+        for t in 10_000..60_000 {
+            ms.tick(t);
+            while let Some(ev) = ms.pop_event(CoreId(0)) {
+                if matches!(ev, MemEvent::StoreBounced { token } if token == tok) {
+                    bounced = true;
+                }
+            }
+            if bounced {
+                break;
+            }
+        }
+        prop_assert!(bounced, "BS must bounce the conflicting write");
+        // Clear the BS: the store completes and the value lands.
+        ms.bs_clear_completed(CoreId(1), 1);
+        let mut completed = false;
+        for t in 60_000..200_000 {
+            ms.tick(t);
+            while let Some(ev) = ms.pop_event(CoreId(0)) {
+                if matches!(ev, MemEvent::StoreDone { token } if token == tok) {
+                    completed = true;
+                }
+            }
+            while ms.pop_event(CoreId(1)).is_some() {}
+            if completed && ms.is_idle() {
+                break;
+            }
+        }
+        prop_assert!(completed);
+        prop_assert_eq!(ms.backdoor_read(addr), value);
+    }
+}

@@ -1,0 +1,32 @@
+//! Shared vocabulary types for the `asymfence` simulator workspace.
+//!
+//! This crate holds the types that every layer of the stack speaks:
+//! addresses and identifiers ([`ids`]), the machine configuration
+//! ([`config`]), statistics counters ([`stats`]), a deterministic RNG
+//! wrapper ([`rng`]) and small utility containers ([`queue`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use asymfence_common::config::MachineConfig;
+//! use asymfence_common::ids::{Addr, LineAddr};
+//!
+//! let cfg = MachineConfig::default();
+//! assert_eq!(cfg.num_cores, 8);
+//! let a = Addr::new(0x1040);
+//! let line = LineAddr::containing(a, cfg.line_bytes);
+//! assert_eq!(line.base(cfg.line_bytes).raw(), 0x1040);
+//! ```
+
+pub mod config;
+pub mod ids;
+pub mod queue;
+pub mod rng;
+pub mod scvlog;
+pub mod stats;
+
+pub use config::{FenceDesign, MachineConfig, MachineConfigBuilder};
+pub use ids::{Addr, BankId, CoreId, Cycle, LineAddr, WordIdx};
+pub use rng::SimRng;
+pub use scvlog::{ScvEvent, ScvLog};
+pub use stats::{CoreStats, MachineStats, StallKind};

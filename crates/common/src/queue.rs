@@ -1,0 +1,154 @@
+//! Small utility containers: a bounded FIFO used for write buffers, MSHR
+//! queues and link queues.
+
+use std::collections::VecDeque;
+
+/// A FIFO queue with a hard capacity.
+///
+/// # Examples
+///
+/// ```
+/// use asymfence_common::queue::BoundedQueue;
+/// let mut q = BoundedQueue::new(2);
+/// assert!(q.push(1).is_ok());
+/// assert!(q.push(2).is_ok());
+/// assert_eq!(q.push(3), Err(3)); // full: value handed back
+/// assert_eq!(q.pop(), Some(1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "BoundedQueue capacity must be nonzero");
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Appends an item.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` (ownership handed back) if the queue is full.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            return Err(item);
+        }
+        self.items.push_back(item);
+        Ok(())
+    }
+
+    /// Removes and returns the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Oldest item without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Mutable access to the oldest item.
+    pub fn front_mut(&mut self) -> Option<&mut T> {
+        self.items.front_mut()
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Iterates mutably, oldest-first.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.items.iter_mut()
+    }
+
+    /// Removes every item, newest included.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Retains only items matching the predicate (order preserved).
+    pub fn retain(&mut self, f: impl FnMut(&T) -> bool) {
+        self.items.retain(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = BoundedQueue::new(3);
+        q.push("a").unwrap();
+        q.push("b").unwrap();
+        q.push("c").unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        q.push("d").unwrap();
+        assert_eq!(q.pop(), Some("c"));
+        assert_eq!(q.pop(), Some("d"));
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_full_returns_item() {
+        let mut q = BoundedQueue::new(1);
+        q.push(10).unwrap();
+        assert_eq!(q.push(11), Err(11));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn front_and_retain() {
+        let mut q = BoundedQueue::new(8);
+        for i in 0..6 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.front(), Some(&0));
+        q.retain(|&x| x % 2 == 0);
+        let left: Vec<i32> = q.iter().copied().collect();
+        assert_eq!(left, [0, 2, 4]);
+        *q.front_mut().unwrap() = 100;
+        assert_eq!(q.pop(), Some(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_panics() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Deterministic random numbers for workloads.
+//!
+//! The simulator itself is fully deterministic; workloads use [`SimRng`]
+//! for stochastic decisions (transaction mixes, task sizes) so that a given
+//! seed reproduces a run cycle-for-cycle.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64 finalizer: a fast, high-quality 64-bit mixing function for
+/// deriving deterministic per-item parameters (task sizes, spawn shapes).
+pub fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A seeded, cheap, deterministic RNG.
+///
+/// # Examples
+///
+/// ```
+/// use asymfence_common::rng::SimRng;
+/// let mut a = SimRng::new(42);
+/// let mut b = SimRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates an RNG from a seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child stream, e.g. one per thread.
+    pub fn fork(&mut self, salt: u64) -> Self {
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::new(s)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform value in `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi);
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Picks an index according to integer weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted(&mut self, weights: &[u64]) -> usize {
+        let total: u64 = weights.iter().sum();
+        assert!(total > 0, "weighted() needs a positive total weight");
+        let mut x = self.below(total);
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        unreachable!("weight accounting is exhaustive")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash64_mixes() {
+        assert_ne!(hash64(0), 0);
+        assert_ne!(hash64(1), hash64(2));
+        // Avalanche sanity: flipping one input bit changes many output bits.
+        let d = (hash64(42) ^ hash64(43)).count_ones();
+        assert!(d > 16, "poor mixing: {d} bits");
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forked_streams_differ_by_salt() {
+        let mut root1 = SimRng::new(7);
+        let mut root2 = SimRng::new(7);
+        let mut c1 = root1.fork(1);
+        let mut c2 = root2.fork(2);
+        let s1: Vec<u64> = (0..8).map(|_| c1.next_u64()).collect();
+        let s2: Vec<u64> = (0..8).map(|_| c2.next_u64()).collect();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn below_in_bounds() {
+        let mut r = SimRng::new(1);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let mut r = SimRng::new(1);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = r.range(3, 5);
+            assert!((3..=5).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 5;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(1);
+        for _ in 0..100 {
+            assert!(!r.chance(0.0));
+            assert!(r.chance(1.0));
+        }
+    }
+
+    #[test]
+    fn weighted_respects_zero_weight() {
+        let mut r = SimRng::new(1);
+        for _ in 0..500 {
+            let i = r.weighted(&[0, 5, 0, 5]);
+            assert!(i == 1 || i == 3);
+        }
+    }
+
+    #[test]
+    fn weighted_roughly_proportional() {
+        let mut r = SimRng::new(9);
+        let mut counts = [0u64; 2];
+        for _ in 0..10_000 {
+            counts[r.weighted(&[1, 3])] += 1;
+        }
+        let frac = counts[1] as f64 / 10_000.0;
+        assert!((0.70..0.80).contains(&frac), "frac={frac}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Perform-order log consumed by the SC-violation checker.
+//!
+//! When enabled, the machine records every memory access in the global
+//! order it became architecturally final: loads when they retire, stores
+//! when they merge with the memory system. The checker (in the
+//! `asymfence` crate) combines this order with per-thread program order
+//! to find Shasha–Snir cycles.
+
+/// One logged access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScvEvent {
+    /// Core that performed the access.
+    pub core: usize,
+    /// Word-granularity byte address.
+    pub addr: u64,
+    /// Whether the access is a write (stores and writing RMWs).
+    pub is_write: bool,
+    /// Program-order index of the instruction within its thread.
+    pub po: u64,
+}
+
+/// The global perform-order log.
+#[derive(Clone, Debug, Default)]
+pub struct ScvLog {
+    /// Events in global perform order.
+    pub events: Vec<ScvEvent>,
+}
+
+impl ScvLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an access.
+    pub fn record(&mut self, core: usize, addr: u64, is_write: bool, po: u64) {
+        self.events.push(ScvEvent {
+            core,
+            addr,
+            is_write,
+            po,
+        });
+    }
+
+    /// Number of logged accesses.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Removes `core`'s events with program order `>= min_po` — a W+
+    /// rollback architecturally undoes those accesses, so they must not
+    /// feed the SC checker.
+    pub fn retract(&mut self, core: usize, min_po: u64) {
+        self.events.retain(|e| e.core != core || e.po < min_po);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retract_removes_rolled_back_events() {
+        let mut log = ScvLog::new();
+        log.record(0, 8, false, 5);
+        log.record(1, 8, false, 5);
+        log.record(0, 16, true, 7);
+        log.retract(0, 6);
+        assert_eq!(log.len(), 2);
+        assert!(log.events.iter().all(|e| e.core != 0 || e.po <= 5));
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut log = ScvLog::new();
+        assert!(log.is_empty());
+        log.record(0, 8, true, 0);
+        log.record(1, 8, false, 0);
+        assert_eq!(log.len(), 2);
+        assert!(log.events[0].is_write);
+        assert_eq!(log.events[1].core, 1);
+    }
+}

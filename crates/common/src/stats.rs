@@ -1,0 +1,339 @@
+//! Statistics counters.
+//!
+//! Every quantity the paper's evaluation reports is collected here:
+//! per-core cycle breakdowns (busy / fence stall / other stall, Figures
+//! 8, 10, 11), fence frequencies and Bypass-Set occupancies, bounce and
+//! retry counts, network traffic (Table 4), W+ recoveries, and Wee
+//! wf→sf conversions.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// How a core spent one retirement cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StallKind {
+    /// Retired at least one instruction this cycle.
+    Busy,
+    /// Retirement blocked by an incomplete fence (fence at ROB head, or a
+    /// load held back by a pending fence).
+    Fence,
+    /// Retirement blocked for any other reason (cache miss, full write
+    /// buffer, empty ROB while fetch waits on memory, …).
+    Other,
+    /// The thread has finished its program.
+    Idle,
+}
+
+/// Counters for a single core.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CoreStats {
+    /// Cycles in which at least one instruction retired.
+    pub busy_cycles: u64,
+    /// Cycles stalled on a fence.
+    pub fence_stall_cycles: u64,
+    /// Cycles stalled for other reasons.
+    pub other_stall_cycles: u64,
+    /// Cycles after the program completed.
+    pub idle_cycles: u64,
+    /// Dynamic instructions retired (loads, stores, fences, RMWs, and each
+    /// cycle of `Compute`).
+    pub instrs_retired: u64,
+    /// Loads retired.
+    pub loads: u64,
+    /// Stores retired.
+    pub stores: u64,
+    /// Atomic read-modify-writes retired.
+    pub rmws: u64,
+    /// Strong fences executed (after any design-driven mapping).
+    pub sf_count: u64,
+    /// Weak fences executed.
+    pub wf_count: u64,
+    /// Weak fences that the Wee design demoted to strong because their
+    /// global state spanned more than one directory bank.
+    pub wee_demotions: u64,
+    /// Sum over completed wfs of the number of distinct line addresses the
+    /// Bypass Set held (divide by `wf_count` for the Table 4 average).
+    pub bs_lines_sum: u64,
+    /// Peak Bypass-Set occupancy observed.
+    pub bs_peak: u64,
+    /// wfs whose Bypass Set overflowed (fence degraded to strong).
+    pub bs_overflows: u64,
+    /// Write transactions from this core that were bounced at least once.
+    pub writes_bounced: u64,
+    /// Total bounce NACKs received by this core's write transactions.
+    pub bounce_retries: u64,
+    /// Order transactions this core completed.
+    pub order_ops: u64,
+    /// Conditional-Order attempts that failed on a true-sharing match.
+    pub cond_order_failures: u64,
+    /// Conditional-Order attempts that completed.
+    pub cond_order_successes: u64,
+    /// W+ rollback recoveries performed.
+    pub recoveries: u64,
+    /// Speculative loads squashed by conflicting invalidations.
+    pub load_squashes: u64,
+    /// Post-fence loads that retired early (before their wf completed).
+    pub early_retired_loads: u64,
+    /// Post-fence accesses stalled by a Wee RemotePS hit.
+    pub remote_ps_stalls: u64,
+    /// L1 load/store misses.
+    pub l1_misses: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+}
+
+impl CoreStats {
+    /// Total simulated cycles this core was accounted for.
+    pub fn total_cycles(&self) -> u64 {
+        self.busy_cycles + self.fence_stall_cycles + self.other_stall_cycles + self.idle_cycles
+    }
+
+    /// Records one retirement-cycle classification.
+    pub fn record_cycle(&mut self, kind: StallKind) {
+        match kind {
+            StallKind::Busy => self.busy_cycles += 1,
+            StallKind::Fence => self.fence_stall_cycles += 1,
+            StallKind::Other => self.other_stall_cycles += 1,
+            StallKind::Idle => self.idle_cycles += 1,
+        }
+    }
+
+    /// Fences per 1000 retired instructions, as in Table 4.
+    pub fn fences_per_kilo_instr(&self) -> f64 {
+        if self.instrs_retired == 0 {
+            return 0.0;
+        }
+        1000.0 * (self.sf_count + self.wf_count) as f64 / self.instrs_retired as f64
+    }
+
+    /// Average Bypass-Set line count per weak fence.
+    pub fn avg_bs_lines(&self) -> f64 {
+        if self.wf_count == 0 {
+            return 0.0;
+        }
+        self.bs_lines_sum as f64 / self.wf_count as f64
+    }
+}
+
+impl AddAssign<&CoreStats> for CoreStats {
+    fn add_assign(&mut self, rhs: &CoreStats) {
+        self.busy_cycles += rhs.busy_cycles;
+        self.fence_stall_cycles += rhs.fence_stall_cycles;
+        self.other_stall_cycles += rhs.other_stall_cycles;
+        self.idle_cycles += rhs.idle_cycles;
+        self.instrs_retired += rhs.instrs_retired;
+        self.loads += rhs.loads;
+        self.stores += rhs.stores;
+        self.rmws += rhs.rmws;
+        self.sf_count += rhs.sf_count;
+        self.wf_count += rhs.wf_count;
+        self.wee_demotions += rhs.wee_demotions;
+        self.bs_lines_sum += rhs.bs_lines_sum;
+        self.bs_peak = self.bs_peak.max(rhs.bs_peak);
+        self.bs_overflows += rhs.bs_overflows;
+        self.writes_bounced += rhs.writes_bounced;
+        self.bounce_retries += rhs.bounce_retries;
+        self.order_ops += rhs.order_ops;
+        self.cond_order_failures += rhs.cond_order_failures;
+        self.cond_order_successes += rhs.cond_order_successes;
+        self.recoveries += rhs.recoveries;
+        self.load_squashes += rhs.load_squashes;
+        self.early_retired_loads += rhs.early_retired_loads;
+        self.remote_ps_stalls += rhs.remote_ps_stalls;
+        self.l1_misses += rhs.l1_misses;
+        self.l1_hits += rhs.l1_hits;
+    }
+}
+
+/// Network traffic counters, split so Table 4's "% traffic increase due to
+/// retries" can be computed.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TrafficStats {
+    /// Bytes moved by first-attempt protocol messages.
+    pub base_bytes: u64,
+    /// Bytes moved by bounce NACKs and bounced-request retries.
+    pub retry_bytes: u64,
+    /// Total messages injected.
+    pub messages: u64,
+}
+
+impl TrafficStats {
+    /// Total bytes on the network.
+    pub fn total_bytes(&self) -> u64 {
+        self.base_bytes + self.retry_bytes
+    }
+
+    /// Percentage increase of traffic caused by retries.
+    pub fn retry_increase_pct(&self) -> f64 {
+        if self.base_bytes == 0 {
+            return 0.0;
+        }
+        100.0 * self.retry_bytes as f64 / self.base_bytes as f64
+    }
+}
+
+/// Machine-wide statistics, returned by a simulation run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MachineStats {
+    /// Cycle count when the run finished.
+    pub cycles: u64,
+    /// Per-core counters.
+    pub cores: Vec<CoreStats>,
+    /// Network traffic.
+    pub traffic: TrafficStats,
+    /// Whether the deadlock watchdog fired (only possible under
+    /// `WfOnlyUnsafe` or a mis-grouped WS+ program).
+    pub deadlocked: bool,
+}
+
+impl MachineStats {
+    /// Sum of all per-core counters.
+    pub fn aggregate(&self) -> CoreStats {
+        let mut total = CoreStats::default();
+        for c in &self.cores {
+            total += c;
+        }
+        total
+    }
+
+    /// Fraction of non-idle core cycles spent stalled on fences.
+    pub fn fence_stall_fraction(&self) -> f64 {
+        let a = self.aggregate();
+        let active = a.busy_cycles + a.fence_stall_cycles + a.other_stall_cycles;
+        if active == 0 {
+            return 0.0;
+        }
+        a.fence_stall_cycles as f64 / active as f64
+    }
+
+    /// Total fence-stall cycles across cores.
+    pub fn fence_stall_cycles(&self) -> u64 {
+        self.aggregate().fence_stall_cycles
+    }
+
+    /// Total retired instructions across cores.
+    pub fn instrs_retired(&self) -> u64 {
+        self.aggregate().instrs_retired
+    }
+}
+
+impl fmt::Display for MachineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let a = self.aggregate();
+        writeln!(f, "cycles: {}", self.cycles)?;
+        writeln!(
+            f,
+            "busy/fence/other/idle: {}/{}/{}/{}",
+            a.busy_cycles, a.fence_stall_cycles, a.other_stall_cycles, a.idle_cycles
+        )?;
+        writeln!(
+            f,
+            "instrs: {} (ld {} st {} rmw {} sf {} wf {})",
+            a.instrs_retired, a.loads, a.stores, a.rmws, a.sf_count, a.wf_count
+        )?;
+        writeln!(
+            f,
+            "bounces: {} writes / {} retries; orders {}; CO ok/fail {}/{}; recoveries {}",
+            a.writes_bounced,
+            a.bounce_retries,
+            a.order_ops,
+            a.cond_order_successes,
+            a.cond_order_failures,
+            a.recoveries
+        )?;
+        write!(
+            f,
+            "traffic: {} B (+{:.2}% retries){}",
+            self.traffic.total_bytes(),
+            self.traffic.retry_increase_pct(),
+            if self.deadlocked { "; DEADLOCKED" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_cycle_buckets() {
+        let mut s = CoreStats::default();
+        s.record_cycle(StallKind::Busy);
+        s.record_cycle(StallKind::Fence);
+        s.record_cycle(StallKind::Fence);
+        s.record_cycle(StallKind::Other);
+        s.record_cycle(StallKind::Idle);
+        assert_eq!(s.busy_cycles, 1);
+        assert_eq!(s.fence_stall_cycles, 2);
+        assert_eq!(s.other_stall_cycles, 1);
+        assert_eq!(s.idle_cycles, 1);
+        assert_eq!(s.total_cycles(), 5);
+    }
+
+    #[test]
+    fn fences_per_kilo_instr() {
+        let s = CoreStats {
+            instrs_retired: 2000,
+            sf_count: 3,
+            wf_count: 1,
+            ..Default::default()
+        };
+        assert!((s.fences_per_kilo_instr() - 2.0).abs() < 1e-12);
+        assert_eq!(CoreStats::default().fences_per_kilo_instr(), 0.0);
+    }
+
+    #[test]
+    fn avg_bs_lines() {
+        let s = CoreStats {
+            wf_count: 4,
+            bs_lines_sum: 14,
+            ..Default::default()
+        };
+        assert!((s.avg_bs_lines() - 3.5).abs() < 1e-12);
+        assert_eq!(CoreStats::default().avg_bs_lines(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_sums_cores() {
+        let mut m = MachineStats::default();
+        m.cores.push(CoreStats {
+            busy_cycles: 10,
+            fence_stall_cycles: 5,
+            bs_peak: 3,
+            ..Default::default()
+        });
+        m.cores.push(CoreStats {
+            busy_cycles: 7,
+            fence_stall_cycles: 1,
+            bs_peak: 9,
+            ..Default::default()
+        });
+        let a = m.aggregate();
+        assert_eq!(a.busy_cycles, 17);
+        assert_eq!(a.fence_stall_cycles, 6);
+        assert_eq!(a.bs_peak, 9);
+        assert!((m.fence_stall_fraction() - 6.0 / 23.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_retry_percentage() {
+        let t = TrafficStats {
+            base_bytes: 1000,
+            retry_bytes: 25,
+            messages: 10,
+        };
+        assert_eq!(t.total_bytes(), 1025);
+        assert!((t.retry_increase_pct() - 2.5).abs() < 1e-12);
+        assert_eq!(TrafficStats::default().retry_increase_pct(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_deadlock() {
+        let m = MachineStats {
+            deadlocked: true,
+            cores: vec![CoreStats::default()],
+            ..Default::default()
+        };
+        assert!(format!("{m}").contains("DEADLOCKED"));
+    }
+}

@@ -1,0 +1,361 @@
+//! The simulated machine: cores + memory hierarchy + watchdog.
+//!
+//! [`Machine`] assembles one [`Core`](asymfence_cpu::Core) per thread on
+//! top of a shared [`MemSystem`](asymfence_coherence::MemSystem) and runs
+//! them cycle by cycle. It merges the statistics the paper's evaluation
+//! reports and detects global deadlock (which only the deliberately
+//! unprotected `WfOnlyUnsafe` design — or a mis-grouped WS+ program — can
+//! reach).
+
+use asymfence_coherence::MemSystem;
+use asymfence_common::config::MachineConfig;
+use asymfence_common::ids::{Addr, CoreId, Cycle};
+use asymfence_common::scvlog::ScvLog;
+use asymfence_common::stats::MachineStats;
+use asymfence_cpu::program::{Fetch, ThreadProgram};
+use asymfence_cpu::Core;
+
+/// How a simulation run ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunOutcome {
+    /// Every thread finished and all buffers drained.
+    Finished,
+    /// The cycle limit was reached (expected for throughput runs).
+    CycleLimit,
+    /// No core made progress for the watchdog horizon.
+    Deadlocked,
+}
+
+/// A program that finishes immediately (installed on cores without a
+/// thread).
+#[derive(Clone, Debug, Default)]
+struct NullProgram;
+
+impl ThreadProgram for NullProgram {
+    fn fetch(&mut self) -> Fetch {
+        Fetch::Done
+    }
+    fn deliver(&mut self, _tag: u64, _value: u64) {}
+    fn snapshot(&self) -> Box<dyn ThreadProgram> {
+        Box::new(NullProgram)
+    }
+    fn name(&self) -> &str {
+        "null"
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// A complete simulated multicore.
+///
+/// # Examples
+///
+/// ```
+/// use asymfence::machine::{Machine, RunOutcome};
+/// use asymfence::prelude::*;
+///
+/// let cfg = MachineConfig::builder().cores(2).build();
+/// let mut m = Machine::new(&cfg);
+/// let (prog, regs) = ScriptProgram::new(vec![
+///     Instr::Store { addr: Addr::new(0), value: 7 },
+///     Instr::Load { addr: Addr::new(0), tag: Some(1) },
+/// ]);
+/// m.add_thread(Box::new(prog));
+/// assert_eq!(m.run(100_000), RunOutcome::Finished);
+/// assert_eq!(regs.borrow()[&1], 7);
+/// ```
+pub struct Machine {
+    cfg: MachineConfig,
+    mem: MemSystem,
+    cores: Vec<Core>,
+    threads_added: usize,
+    now: Cycle,
+    scv_log: Option<ScvLog>,
+    last_progress_cycle: Cycle,
+    last_progress_value: u64,
+    deadlocked: bool,
+}
+
+impl Machine {
+    /// Builds a machine; threads are added with [`Machine::add_thread`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        cfg.validate().expect("invalid MachineConfig");
+        let mem = MemSystem::new(cfg);
+        let cores = (0..cfg.num_cores)
+            .map(|i| Core::new(CoreId(i), cfg, Box::new(NullProgram)))
+            .collect();
+        Machine {
+            cfg: cfg.clone(),
+            mem,
+            cores,
+            threads_added: 0,
+            now: 0,
+            scv_log: cfg.record_scv_log.then(ScvLog::new),
+            last_progress_cycle: 0,
+            last_progress_value: 0,
+            deadlocked: false,
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Installs `program` on the next free core and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every core already has a thread or the machine has
+    /// started running.
+    pub fn add_thread(&mut self, program: Box<dyn ThreadProgram>) -> CoreId {
+        assert!(self.now == 0, "threads must be added before running");
+        assert!(
+            self.threads_added < self.cfg.num_cores,
+            "all {} cores already have threads",
+            self.cfg.num_cores
+        );
+        let id = CoreId(self.threads_added);
+        self.cores[self.threads_added] = Core::new(id, &self.cfg, program);
+        self.threads_added += 1;
+        id
+    }
+
+    /// Current simulated cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Whether every thread finished and the memory system drained.
+    pub fn is_finished(&self) -> bool {
+        self.cores.iter().all(|c| c.is_done()) && self.mem.is_idle()
+    }
+
+    /// Initializes one word of shared memory (before running).
+    pub fn write_memory(&mut self, addr: Addr, value: u64) {
+        self.mem.backdoor_write(addr, value);
+    }
+
+    /// Initializes one word of shared memory and warms it into the L2
+    /// (data the program would have touched before the measured region).
+    pub fn warm_memory(&mut self, addr: Addr, value: u64) {
+        self.mem.backdoor_write_warm(addr, value);
+    }
+
+    /// Reads one word of globally-visible shared memory.
+    pub fn read_memory(&self, addr: Addr) -> u64 {
+        self.mem.backdoor_read(addr)
+    }
+
+    /// Advances one cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+        for core in self.cores.iter_mut() {
+            core.tick(now, &mut self.mem, self.scv_log.as_mut());
+        }
+        self.mem.tick(now);
+        self.now += 1;
+
+        let progress: u64 = self.cores.iter().map(|c| c.progress_marker()).sum();
+        if progress != self.last_progress_value {
+            self.last_progress_value = progress;
+            self.last_progress_cycle = now;
+        } else if !self.is_finished() && now - self.last_progress_cycle > self.cfg.watchdog_cycles
+        {
+            self.deadlocked = true;
+        }
+    }
+
+    /// Runs until every thread finishes, deadlock is detected, or
+    /// `max_cycles` elapse.
+    pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
+        let limit = self.now + max_cycles;
+        while self.now < limit {
+            if self.is_finished() {
+                return RunOutcome::Finished;
+            }
+            if self.deadlocked {
+                return RunOutcome::Deadlocked;
+            }
+            self.step();
+        }
+        if self.is_finished() {
+            RunOutcome::Finished
+        } else if self.deadlocked {
+            RunOutcome::Deadlocked
+        } else {
+            RunOutcome::CycleLimit
+        }
+    }
+
+    /// The SCV perform-order log (if `record_scv_log` was enabled).
+    pub fn scv_log(&self) -> Option<&ScvLog> {
+        self.scv_log.as_ref()
+    }
+
+    /// The program running on `core` (for reading results after a run).
+    pub fn thread_program(&self, core: CoreId) -> &dyn ThreadProgram {
+        self.cores[core.0].program()
+    }
+
+    /// Debug dump of the memory system's outstanding state.
+    pub fn debug_memory(&self) -> String {
+        self.mem.debug_dump()
+    }
+
+    /// Merges all statistics into the paper's reporting format.
+    pub fn stats(&self) -> MachineStats {
+        let mut cores = Vec::with_capacity(self.cfg.num_cores);
+        let banks = self.mem.bank_counters();
+        for (i, core) in self.cores.iter().enumerate() {
+            let mut s = core.stats().clone();
+            let mc = self.mem.counters(CoreId(i));
+            s.l1_hits = mc.l1_hits;
+            s.l1_misses = mc.l1_misses;
+            s.writes_bounced = mc.writes_bounced;
+            s.bounce_retries = mc.bounce_retries;
+            s.bs_peak = self.mem.bs_peak(CoreId(i)) as u64;
+            for b in &banks {
+                s.order_ops += b.orders[i];
+                s.cond_order_failures += b.co_failures[i];
+                s.cond_order_successes += b.co_successes[i];
+            }
+            cores.push(s);
+        }
+        MachineStats {
+            cycles: self.now,
+            cores,
+            traffic: self.mem.traffic().clone(),
+            deadlocked: self.deadlocked,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asymfence_common::config::FenceDesign;
+    use asymfence_cpu::program::{FenceRole, Instr, ScriptProgram};
+
+    #[test]
+    fn empty_machine_finishes_instantly() {
+        let cfg = MachineConfig::builder().cores(2).build();
+        let mut m = Machine::new(&cfg);
+        assert_eq!(m.run(100), RunOutcome::Finished);
+    }
+
+    #[test]
+    fn single_thread_store_visible_in_memory() {
+        let cfg = MachineConfig::builder().cores(2).build();
+        let mut m = Machine::new(&cfg);
+        let (p, _) = ScriptProgram::new(vec![Instr::Store {
+            addr: Addr::new(0x80),
+            value: 33,
+        }]);
+        m.add_thread(Box::new(p));
+        assert_eq!(m.run(100_000), RunOutcome::Finished);
+        assert_eq!(m.read_memory(Addr::new(0x80)), 33);
+        let stats = m.stats();
+        assert_eq!(stats.aggregate().stores, 1);
+        assert!(!stats.deadlocked);
+    }
+
+    #[test]
+    fn initialized_memory_is_readable() {
+        let cfg = MachineConfig::builder().cores(2).build();
+        let mut m = Machine::new(&cfg);
+        m.write_memory(Addr::new(0x40), 11);
+        let (p, regs) = ScriptProgram::new(vec![Instr::Load {
+            addr: Addr::new(0x40),
+            tag: Some(1),
+        }]);
+        m.add_thread(Box::new(p));
+        assert_eq!(m.run(100_000), RunOutcome::Finished);
+        assert_eq!(regs.borrow()[&1], 11);
+    }
+
+    #[test]
+    fn cycle_limit_reported() {
+        let cfg = MachineConfig::builder().cores(2).build();
+        let mut m = Machine::new(&cfg);
+        let (p, _) = ScriptProgram::new(vec![Instr::Compute { cycles: 1_000_000 }]);
+        m.add_thread(Box::new(p));
+        assert_eq!(m.run(100), RunOutcome::CycleLimit);
+        assert!(m.now() >= 100);
+    }
+
+    #[test]
+    fn watchdog_detects_wf_only_deadlock() {
+        let cfg = MachineConfig::builder()
+            .cores(2)
+            .fence_design(FenceDesign::WfOnlyUnsafe)
+            .watchdog_cycles(5_000)
+            .build();
+        let mut m = Machine::new(&cfg);
+        let side = |mine: u64, other: u64, dummy: u64| {
+            ScriptProgram::new(vec![
+                Instr::Load {
+                    addr: Addr::new(other),
+                    tag: None,
+                },
+                Instr::Compute { cycles: 1600 },
+                Instr::Store {
+                    addr: Addr::new(dummy),
+                    value: 1,
+                },
+                Instr::Store {
+                    addr: Addr::new(mine),
+                    value: 1,
+                },
+                Instr::Fence {
+                    role: FenceRole::Critical,
+                },
+                Instr::Load {
+                    addr: Addr::new(other),
+                    tag: Some(1),
+                },
+            ])
+            .0
+        };
+        m.add_thread(Box::new(side(0x00, 0x40, 0x1000)));
+        m.add_thread(Box::new(side(0x40, 0x00, 0x1100)));
+        assert_eq!(m.run(1_000_000), RunOutcome::Deadlocked);
+        assert!(m.stats().deadlocked);
+    }
+
+    #[test]
+    #[should_panic(expected = "already have threads")]
+    fn too_many_threads_panics() {
+        let cfg = MachineConfig::builder().cores(1).build();
+        let mut m = Machine::new(&cfg);
+        let mk = || Box::new(ScriptProgram::new(vec![]).0);
+        m.add_thread(mk());
+        m.add_thread(mk());
+    }
+
+    #[test]
+    fn stats_merge_includes_memory_counters() {
+        let cfg = MachineConfig::builder().cores(2).build();
+        let mut m = Machine::new(&cfg);
+        let (p, _) = ScriptProgram::new(vec![
+            Instr::Load {
+                addr: Addr::new(0),
+                tag: None,
+            },
+            Instr::Load {
+                addr: Addr::new(0),
+                tag: None,
+            },
+        ]);
+        m.add_thread(Box::new(p));
+        m.run(100_000);
+        let s = m.stats();
+        assert!(s.cores[0].l1_misses >= 1);
+        assert!(s.traffic.total_bytes() > 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Sequential-consistency-violation detection (Shasha–Snir cycles).
+//!
+//! An execution is sequentially consistent iff the union of per-thread
+//! program order and the inter-thread conflict order is acyclic
+//! (Shasha & Snir, TOPLAS 1986). The machine's perform-order log gives us
+//! the conflict order directly: for each word, writes and reads appear in
+//! the order they became globally visible. This module builds that graph
+//! and looks for a cycle.
+//!
+//! The paper's fences exist precisely to keep this graph acyclic; the
+//! integration tests run every litmus figure through this checker.
+
+use std::collections::HashMap;
+
+use asymfence_common::scvlog::{ScvEvent, ScvLog};
+
+/// Builds the program-order + conflict-order graph and returns one cycle
+/// (as log indices) if the execution violates SC, or `None`.
+pub fn find_cycle(log: &ScvLog) -> Option<Vec<usize>> {
+    let n = log.events.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+    // Program order: per core, sort events by po index and chain them.
+    let mut per_core: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (i, e) in log.events.iter().enumerate() {
+        per_core.entry(e.core).or_default().push(i);
+    }
+    for idxs in per_core.values_mut() {
+        idxs.sort_by_key(|&i| log.events[i].po);
+        for w in idxs.windows(2) {
+            if log.events[w[0]].po != log.events[w[1]].po {
+                adj[w[0]].push(w[1]);
+            }
+        }
+    }
+
+    // Conflict order: per word address, in log (perform) order.
+    struct AddrState {
+        last_write: Option<usize>,
+        readers_since: Vec<usize>,
+    }
+    let mut per_addr: HashMap<u64, AddrState> = HashMap::new();
+    for (i, e) in log.events.iter().enumerate() {
+        let st = per_addr.entry(e.addr).or_insert(AddrState {
+            last_write: None,
+            readers_since: Vec::new(),
+        });
+        if e.is_write {
+            if let Some(w) = st.last_write {
+                if log.events[w].core != e.core {
+                    adj[w].push(i);
+                }
+            }
+            for &r in &st.readers_since {
+                if log.events[r].core != e.core {
+                    adj[r].push(i);
+                }
+            }
+            st.last_write = Some(i);
+            st.readers_since.clear();
+        } else {
+            if let Some(w) = st.last_write {
+                if log.events[w].core != e.core {
+                    adj[w].push(i);
+                }
+            }
+            st.readers_since.push(i);
+        }
+    }
+
+    // Iterative DFS cycle detection with path recovery.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color = vec![Color::White; n];
+    let mut parent = vec![usize::MAX; n];
+    for start in 0..n {
+        if color[start] != Color::White {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        color[start] = Color::Gray;
+        while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+            if *next < adj[u].len() {
+                let v = adj[u][*next];
+                *next += 1;
+                match color[v] {
+                    Color::White => {
+                        color[v] = Color::Gray;
+                        parent[v] = u;
+                        stack.push((v, 0));
+                    }
+                    Color::Gray => {
+                        // Found a back edge u -> v: recover the cycle.
+                        let mut cycle = vec![u];
+                        let mut x = u;
+                        while x != v {
+                            x = parent[x];
+                            cycle.push(x);
+                        }
+                        cycle.reverse();
+                        return Some(cycle);
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[u] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Whether the logged execution violates sequential consistency.
+pub fn has_violation(log: &ScvLog) -> bool {
+    find_cycle(log).is_some()
+}
+
+/// Pretty-prints a cycle for diagnostics.
+pub fn describe_cycle(log: &ScvLog, cycle: &[usize]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("SC-violation cycle:\n");
+    for &i in cycle {
+        let ScvEvent {
+            core,
+            addr,
+            is_write,
+            po,
+        } = log.events[i];
+        let _ = writeln!(
+            s,
+            "  P{core} {} {addr:#x} (po {po}, perform #{i})",
+            if is_write { "wr" } else { "rd" }
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(log: &mut ScvLog, core: usize, addr: u64, w: bool, po: u64) {
+        log.record(core, addr, w, po);
+    }
+
+    #[test]
+    fn empty_log_has_no_violation() {
+        assert!(!has_violation(&ScvLog::new()));
+    }
+
+    #[test]
+    fn sc_interleaving_is_clean() {
+        // P0: wr x; rd y   then   P1: wr y; rd x — fully serialized.
+        let mut log = ScvLog::new();
+        ev(&mut log, 0, 0x0, true, 0);
+        ev(&mut log, 0, 0x8, false, 1);
+        ev(&mut log, 1, 0x8, true, 0);
+        ev(&mut log, 1, 0x0, false, 1);
+        assert!(!has_violation(&log));
+    }
+
+    #[test]
+    fn store_buffering_reorder_is_a_cycle() {
+        // Both loads perform before both stores (TSO store buffering):
+        // P0: rd y (po1) … wr x (po0); P1: rd x (po1) … wr y (po0).
+        let mut log = ScvLog::new();
+        ev(&mut log, 0, 0x8, false, 1); // P0 rd y = 0
+        ev(&mut log, 1, 0x0, false, 1); // P1 rd x = 0
+        ev(&mut log, 0, 0x0, true, 0); // P0 wr x
+        ev(&mut log, 1, 0x8, true, 0); // P1 wr y
+        let cycle = find_cycle(&log).expect("SB reorder is an SCV");
+        assert!(cycle.len() >= 4);
+        let desc = describe_cycle(&log, &cycle);
+        assert!(desc.contains("P0"));
+        assert!(desc.contains("P1"));
+    }
+
+    #[test]
+    fn fenced_store_buffering_is_clean() {
+        // Stores perform before the loads retire: no cycle.
+        let mut log = ScvLog::new();
+        ev(&mut log, 0, 0x0, true, 0); // P0 wr x
+        ev(&mut log, 1, 0x8, true, 0); // P1 wr y
+        ev(&mut log, 0, 0x8, false, 1); // P0 rd y = 1
+        ev(&mut log, 1, 0x0, false, 1); // P1 rd x = 1
+        assert!(!has_violation(&log));
+    }
+
+    #[test]
+    fn one_sided_reorder_is_not_a_cycle() {
+        // Figure 1c: only one dependence goes "backwards".
+        let mut log = ScvLog::new();
+        ev(&mut log, 0, 0x8, false, 1); // P0 rd y early
+        ev(&mut log, 0, 0x0, true, 0); // P0 wr x
+        ev(&mut log, 1, 0x8, true, 0); // P1 wr y (after P0's read)
+        ev(&mut log, 1, 0x0, false, 1); // P1 rd x — sees P0's write
+        assert!(!has_violation(&log));
+    }
+
+    #[test]
+    fn three_thread_cycle_detected() {
+        // Figure 1e: P0: wr x; rd y | P1: wr y; rd z | P2: wr z; rd x,
+        // with every read performing before the writes it should follow.
+        let mut log = ScvLog::new();
+        ev(&mut log, 0, 0x8, false, 1); // P0 rd y
+        ev(&mut log, 1, 0x10, false, 1); // P1 rd z
+        ev(&mut log, 2, 0x0, false, 1); // P2 rd x
+        ev(&mut log, 0, 0x0, true, 0); // P0 wr x
+        ev(&mut log, 1, 0x8, true, 0); // P1 wr y
+        ev(&mut log, 2, 0x10, true, 0); // P2 wr z
+        assert!(has_violation(&log));
+    }
+
+    #[test]
+    fn same_core_conflicts_do_not_create_edges() {
+        let mut log = ScvLog::new();
+        ev(&mut log, 0, 0x0, true, 0);
+        ev(&mut log, 0, 0x0, false, 1);
+        ev(&mut log, 0, 0x0, true, 2);
+        assert!(!has_violation(&log));
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests of the mesh: routing correctness and delivery-order
+//! invariants on arbitrary geometries.
+
+use proptest::prelude::*;
+
+use asymfence_noc::{Mesh, Network};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Route length always equals the Manhattan distance, on any mesh.
+    #[test]
+    fn route_length_is_manhattan(
+        cols in 1usize..7,
+        rows in 1usize..7,
+        pairs in prop::collection::vec((0usize..36, 0usize..36), 1..16)
+    ) {
+        let nodes = cols * rows;
+        let mesh = Mesh::new(cols, rows, nodes);
+        for (s, d) in pairs {
+            let (s, d) = (s % nodes, d % nodes);
+            prop_assert_eq!(mesh.route(s, d).len() as u64, mesh.hops(s, d));
+        }
+    }
+
+    /// Symmetry: distance is the same in both directions.
+    #[test]
+    fn hops_are_symmetric(cols in 1usize..7, rows in 1usize..7, s in 0usize..36, d in 0usize..36) {
+        let nodes = cols * rows;
+        let mesh = Mesh::new(cols, rows, nodes);
+        let (s, d) = (s % nodes, d % nodes);
+        prop_assert_eq!(mesh.hops(s, d), mesh.hops(d, s));
+    }
+
+    /// Per source-destination pair, messages are delivered in send order
+    /// (the protocol relies on this point-to-point FIFO property).
+    #[test]
+    fn point_to_point_fifo(
+        sends in prop::collection::vec((0usize..9, 0usize..9, 1u64..128), 2..24)
+    ) {
+        let mesh = Mesh::new(3, 3, 9);
+        let mut net: Network<usize> = Network::new(mesh, 5, 32);
+        for (i, (s, d, bytes)) in sends.iter().enumerate() {
+            net.send(0, *s, *d, *bytes, false, i);
+        }
+        let mut arrived: Vec<(usize, usize)> = Vec::new();
+        let mut t = 0;
+        while !net.is_idle() {
+            while let Some((node, id)) = net.pop_arrival(t) {
+                arrived.push((node, id));
+            }
+            t += 1;
+            prop_assert!(t < 1_000_000);
+        }
+        prop_assert_eq!(arrived.len(), sends.len());
+        for (i, (s1, d1, _)) in sends.iter().enumerate() {
+            for (j, (s2, d2, _)) in sends.iter().enumerate().skip(i + 1) {
+                if (s1, d1) == (s2, d2) {
+                    let pi = arrived.iter().position(|&(_, id)| id == i).unwrap();
+                    let pj = arrived.iter().position(|&(_, id)| id == j).unwrap();
+                    prop_assert!(pi < pj, "messages {i} and {j} reordered on {s1}->{d1}");
+                }
+            }
+        }
+    }
+
+    /// Traffic accounting equals the sum of bytes x hops (min 1).
+    #[test]
+    fn traffic_is_bytes_times_hops(
+        sends in prop::collection::vec((0usize..9, 0usize..9, 1u64..64), 1..12)
+    ) {
+        let mesh = Mesh::new(3, 3, 9);
+        let mut net: Network<u8> = Network::new(mesh, 5, 32);
+        let mut expect = 0u64;
+        for (s, d, bytes) in &sends {
+            net.send(0, *s, *d, *bytes, false, 0);
+            expect += bytes * mesh.hops(*s, *d).max(1);
+        }
+        prop_assert_eq!(net.traffic().base_bytes, expect);
+        prop_assert_eq!(net.traffic().messages, sends.len() as u64);
+    }
+}

@@ -1,0 +1,197 @@
+//! Shared-memory layout helper.
+//!
+//! Workloads carve the simulated address space with an [`AddressAllocator`]
+//! so variables land where they should: lock words on their own line
+//! (unless false sharing is the point), per-thread scratch regions far
+//! apart, arrays line-aligned.
+
+use asymfence::prelude::Addr;
+
+/// Bump allocator over the simulated address space.
+///
+/// # Examples
+///
+/// ```
+/// use asymfence_workloads::layout::AddressAllocator;
+/// let mut a = AddressAllocator::new(32, 8);
+/// let w1 = a.word();
+/// let w2 = a.word();
+/// assert_eq!(w2.raw() - w1.raw(), 8);
+/// let l = a.isolated_word();
+/// assert_eq!(l.raw() % 32, 0, "isolated words start a fresh line");
+/// ```
+#[derive(Clone, Debug)]
+pub struct AddressAllocator {
+    next: u64,
+    line_bytes: u64,
+    word_bytes: u64,
+}
+
+impl AddressAllocator {
+    /// Creates an allocator for the given geometry, starting at address 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes are zero or the word exceeds the line.
+    pub fn new(line_bytes: u64, word_bytes: u64) -> Self {
+        assert!(word_bytes > 0 && line_bytes >= word_bytes);
+        AddressAllocator {
+            next: 0,
+            line_bytes,
+            word_bytes,
+        }
+    }
+
+    /// Next free address (for diagnostics).
+    pub fn watermark(&self) -> Addr {
+        Addr::new(self.next)
+    }
+
+    /// Allocates one word.
+    pub fn word(&mut self) -> Addr {
+        let a = self.next;
+        self.next += self.word_bytes;
+        Addr::new(a)
+    }
+
+    /// Aligns to the start of the next line.
+    pub fn align_line(&mut self) {
+        self.next = self.next.next_multiple_of(self.line_bytes);
+    }
+
+    /// Aligns to an arbitrary power-of-two-or-not boundary (e.g. the
+    /// directory-interleave chunk, so an arena lands in one bank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn align_to(&mut self, bytes: u64) {
+        assert!(bytes > 0);
+        self.next = self.next.next_multiple_of(bytes);
+    }
+
+    /// Allocates one word on its own cache line (no false sharing).
+    pub fn isolated_word(&mut self) -> Addr {
+        self.align_line();
+        let a = self.word();
+        self.align_line();
+        a
+    }
+
+    /// Allocates `words` consecutive words, line-aligned at the start.
+    pub fn array(&mut self, words: u64) -> Addr {
+        self.align_line();
+        let a = self.next;
+        self.next += words * self.word_bytes;
+        self.align_line();
+        Addr::new(a)
+    }
+
+    /// Allocates a byte region, line-aligned on both ends.
+    pub fn region(&mut self, bytes: u64) -> Addr {
+        self.align_line();
+        let a = self.next;
+        self.next += bytes;
+        self.align_line();
+        Addr::new(a)
+    }
+}
+
+/// A circular scratch region a thread streams stores through. Sized well
+/// above the L1 so every pass misses (the paper's "write buffer full of
+/// misses" scenario that makes conventional fences expensive).
+#[derive(Clone, Debug)]
+pub struct Scratch {
+    base: Addr,
+    words: u64,
+    cursor: u64,
+    stride_words: u64,
+}
+
+impl Scratch {
+    /// Creates a scratch walker over `bytes` at `base`, touching one word
+    /// per line (maximum miss rate — scattered application writes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is smaller than one line.
+    pub fn new(base: Addr, bytes: u64, line_bytes: u64, word_bytes: u64) -> Self {
+        assert!(bytes >= line_bytes);
+        Scratch {
+            base,
+            words: bytes / word_bytes,
+            cursor: 0,
+            stride_words: line_bytes / word_bytes,
+        }
+    }
+
+    /// Creates a sequential walker touching every word (log buffers: one
+    /// miss per line, the rest of the line hits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is smaller than one word.
+    pub fn sequential(base: Addr, bytes: u64, word_bytes: u64) -> Self {
+        assert!(bytes >= word_bytes);
+        Scratch {
+            base,
+            words: bytes / word_bytes,
+            cursor: 0,
+            stride_words: 1,
+        }
+    }
+
+    /// Next address in the walk.
+    pub fn next(&mut self) -> Addr {
+        let a = self.base.offset(self.cursor * 8);
+        self.cursor = (self.cursor + self.stride_words) % self.words;
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_are_consecutive() {
+        let mut a = AddressAllocator::new(32, 8);
+        assert_eq!(a.word().raw(), 0);
+        assert_eq!(a.word().raw(), 8);
+        assert_eq!(a.word().raw(), 16);
+    }
+
+    #[test]
+    fn isolated_words_never_share_lines() {
+        let mut a = AddressAllocator::new(32, 8);
+        let w1 = a.isolated_word();
+        let w2 = a.isolated_word();
+        assert_ne!(w1.raw() / 32, w2.raw() / 32);
+    }
+
+    #[test]
+    fn arrays_are_line_aligned() {
+        let mut a = AddressAllocator::new(32, 8);
+        let _ = a.word();
+        let arr = a.array(10);
+        assert_eq!(arr.raw() % 32, 0);
+        let after = a.word();
+        assert!(after.raw() >= arr.raw() + 80);
+        assert_eq!(after.raw() % 32, 0);
+    }
+
+    #[test]
+    fn sequential_scratch_touches_every_word() {
+        let mut s = Scratch::sequential(Addr::new(0x100), 32, 8);
+        let seq: Vec<u64> = (0..5).map(|_| s.next().raw()).collect();
+        assert_eq!(seq, vec![0x100, 0x108, 0x110, 0x118, 0x100]);
+    }
+
+    #[test]
+    fn scratch_walks_one_word_per_line_and_wraps() {
+        let base = Addr::new(0x1000);
+        let mut s = Scratch::new(base, 128, 32, 8); // 4 lines
+        let seq: Vec<u64> = (0..5).map(|_| s.next().raw()).collect();
+        assert_eq!(seq, vec![0x1000, 0x1020, 0x1040, 0x1060, 0x1000]);
+    }
+}

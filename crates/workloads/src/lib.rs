@@ -1,0 +1,33 @@
+//! Fence-intensive workloads for the `asymfence` simulator.
+//!
+//! These are the paper's three evaluation groups plus the extra idioms of
+//! §4, all driving the *real* synchronization protocols over simulated
+//! shared memory:
+//!
+//! * [`cilk`] — Cilk-style work stealing over the THE deque ([`wsq`]),
+//!   profiles for the ten CilkApps.
+//! * [`tlrw`] + [`ustm`] — the RSTM TLRW read/write-lock STM and its ten
+//!   microbenchmarks.
+//! * [`stamp`] — STAMP application profiles over TLRW.
+//! * [`bakery`] — Lamport's Bakery lock (paper §4.3).
+//! * [`biased`] — biased locking / lock reservation (paper §4.4).
+//! * [`dcl`] — double-checked locking (paper §4.4).
+//! * [`spsc`] — Lamport's SPSC ring buffer (fence-free under TSO: the
+//!   negative control, and a coherence streaming stress).
+//! * [`litmus`] — the paper's figure-by-figure SCV/deadlock scenarios.
+//!
+//! Shared infrastructure: [`ops`] (micro-op queues for state-machine
+//! programs) and [`layout`] (address-space carving).
+
+pub mod bakery;
+pub mod biased;
+pub mod cilk;
+pub mod dcl;
+pub mod layout;
+pub mod litmus;
+pub mod ops;
+pub mod spsc;
+pub mod stamp;
+pub mod tlrw;
+pub mod ustm;
+pub mod wsq;

@@ -1,0 +1,310 @@
+//! Lamport's single-producer/single-consumer ring buffer.
+//!
+//! A producer writes a payload slot and then publishes a new head index; a
+//! consumer polls the head, reads the slot, and advances its tail. Under
+//! TSO this classic queue needs **no fences** (stores publish in order,
+//! loads observe in order) — a useful negative control next to the
+//! fence-hungry idioms — and it streams cache lines between two cores
+//! continuously, stressing the coherence layer's downgrade/upgrade paths.
+//! The consumer verifies every payload, so any ordering or coherence bug
+//! shows up as a corruption count.
+
+use asymfence::prelude::{Addr, Fetch, ThreadProgram};
+use asymfence_common::config::MachineConfig;
+use asymfence_common::rng::hash64;
+
+use crate::layout::AddressAllocator;
+use crate::ops::{Ops, Tag};
+
+/// Shared layout of the ring.
+#[derive(Clone, Debug)]
+pub struct RingLayout {
+    head: Addr,
+    tail: Addr,
+    slots: Addr,
+    capacity: u64,
+}
+
+impl RingLayout {
+    /// Allocates a ring with `capacity` one-word slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(alloc: &mut AddressAllocator, capacity: u64) -> Self {
+        assert!(capacity > 0);
+        RingLayout {
+            head: alloc.isolated_word(),
+            tail: alloc.isolated_word(),
+            slots: alloc.array(capacity),
+            capacity,
+        }
+    }
+
+    fn slot(&self, idx: u64) -> Addr {
+        self.slots.offset((idx % self.capacity) * 8)
+    }
+}
+
+/// The payload for sequence number `i` (verifiable by the consumer).
+pub fn payload(i: u64) -> u64 {
+    hash64(i ^ 0x5B5C).max(1)
+}
+
+#[derive(Clone, Debug)]
+enum ProdSt {
+    Produce,
+    WaitRoom { tag: Tag },
+    Finished,
+}
+
+/// The producing thread.
+#[derive(Clone)]
+pub struct Producer {
+    ring: RingLayout,
+    items: u64,
+    next: u64,
+    ops: Ops,
+    state: ProdSt,
+    /// Items published.
+    pub produced: u64,
+}
+
+impl Producer {
+    fn new(ring: RingLayout, items: u64) -> Self {
+        Producer {
+            ring,
+            items,
+            next: 0,
+            ops: Ops::new(),
+            state: ProdSt::Produce,
+            produced: 0,
+        }
+    }
+
+    fn step(&mut self) -> bool {
+        match std::mem::replace(&mut self.state, ProdSt::Finished) {
+            ProdSt::Produce => {
+                if self.next >= self.items {
+                    self.state = ProdSt::Finished;
+                    return false;
+                }
+                // Check for room: head may run at most `capacity` ahead of
+                // the consumer's tail.
+                let tag = self.ops.load(self.ring.tail);
+                self.state = ProdSt::WaitRoom { tag };
+                true
+            }
+            ProdSt::WaitRoom { tag } => {
+                let tail = self.ops.take(tag);
+                if self.next - tail >= self.ring.capacity {
+                    self.ops.compute(30);
+                    let tag = self.ops.load(self.ring.tail);
+                    self.state = ProdSt::WaitRoom { tag };
+                    return true;
+                }
+                // Write the slot, then publish: two stores whose order TSO
+                // preserves without a fence.
+                self.ops.store(self.ring.slot(self.next), payload(self.next));
+                self.next += 1;
+                self.ops.store(self.ring.head, self.next);
+                self.produced += 1;
+                self.ops.compute(15);
+                self.state = ProdSt::Produce;
+                true
+            }
+            ProdSt::Finished => false,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum ConsSt {
+    Poll,
+    WaitHead { tag: Tag },
+    ReadSlot { tag: Tag },
+    Finished,
+}
+
+/// The consuming thread.
+#[derive(Clone)]
+pub struct Consumer {
+    ring: RingLayout,
+    items: u64,
+    next: u64,
+    ops: Ops,
+    state: ConsSt,
+    /// Items consumed.
+    pub consumed: u64,
+    /// Payload mismatches (must stay 0 under TSO).
+    pub corruptions: u64,
+}
+
+impl Consumer {
+    fn new(ring: RingLayout, items: u64) -> Self {
+        Consumer {
+            ring,
+            items,
+            next: 0,
+            ops: Ops::new(),
+            state: ConsSt::Poll,
+            consumed: 0,
+            corruptions: 0,
+        }
+    }
+
+    fn step(&mut self) -> bool {
+        match std::mem::replace(&mut self.state, ConsSt::Finished) {
+            ConsSt::Poll => {
+                if self.next >= self.items {
+                    self.state = ConsSt::Finished;
+                    return false;
+                }
+                let tag = self.ops.load(self.ring.head);
+                self.state = ConsSt::WaitHead { tag };
+                true
+            }
+            ConsSt::WaitHead { tag } => {
+                if self.ops.take(tag) <= self.next {
+                    self.ops.compute(25);
+                    let tag = self.ops.load(self.ring.head);
+                    self.state = ConsSt::WaitHead { tag };
+                } else {
+                    // Head passed us: the slot's payload must be visible
+                    // (TSO store-store order from the producer, load-load
+                    // order on our side).
+                    let tag = self.ops.load(self.ring.slot(self.next));
+                    self.state = ConsSt::ReadSlot { tag };
+                }
+                true
+            }
+            ConsSt::ReadSlot { tag } => {
+                let v = self.ops.take(tag);
+                if v != payload(self.next) {
+                    self.corruptions += 1;
+                }
+                self.next += 1;
+                self.consumed += 1;
+                self.ops.store(self.ring.tail, self.next);
+                self.state = ConsSt::Poll;
+                true
+            }
+            ConsSt::Finished => false,
+        }
+    }
+}
+
+macro_rules! impl_program {
+    ($ty:ident, $name:literal) => {
+        impl std::fmt::Debug for $ty {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_struct($name).field("next", &self.next).finish()
+            }
+        }
+        impl ThreadProgram for $ty {
+            fn fetch(&mut self) -> Fetch {
+                loop {
+                    if let Some(f) = self.ops.poll() {
+                        return f;
+                    }
+                    if !self.step() {
+                        return Fetch::Done;
+                    }
+                }
+            }
+            fn deliver(&mut self, tag: u64, value: u64) {
+                self.ops.deliver(tag, value);
+            }
+            fn snapshot(&self) -> Box<dyn ThreadProgram> {
+                Box::new(self.clone())
+            }
+            fn name(&self) -> &str {
+                $name
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+    };
+}
+impl_program!(Producer, "spsc-producer");
+impl_program!(Consumer, "spsc-consumer");
+
+/// Builds `(producer, consumer)` sharing a ring of `capacity` slots.
+pub fn pair(
+    cfg: &MachineConfig,
+    capacity: u64,
+    items: u64,
+) -> (Box<dyn ThreadProgram>, Box<dyn ThreadProgram>) {
+    let mut alloc = AddressAllocator::new(cfg.line_bytes, cfg.word_bytes);
+    let ring = RingLayout::new(&mut alloc, capacity);
+    (
+        Box::new(Producer::new(ring.clone(), items)),
+        Box::new(Consumer::new(ring, items)),
+    )
+}
+
+/// Reads `(produced, consumed, corruptions)` off a finished machine.
+pub fn tally(m: &asymfence::Machine) -> (u64, u64, u64) {
+    let (mut p, mut c, mut bad) = (0, 0, 0);
+    for i in 0..m.config().num_cores {
+        let prog = m.thread_program(asymfence_common::ids::CoreId(i));
+        if let Some(x) = prog.as_any().downcast_ref::<Producer>() {
+            p += x.produced;
+        }
+        if let Some(x) = prog.as_any().downcast_ref::<Consumer>() {
+            c += x.consumed;
+            bad += x.corruptions;
+        }
+    }
+    (p, c, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asymfence::prelude::*;
+
+    fn run(design: FenceDesign, capacity: u64, items: u64) -> (u64, u64, u64) {
+        let cfg = MachineConfig::builder()
+            .cores(2)
+            .fence_design(design)
+            .build();
+        let mut m = Machine::new(&cfg);
+        let (p, c) = pair(&cfg, capacity, items);
+        m.add_thread(p);
+        m.add_thread(c);
+        assert_eq!(m.run(1_000_000_000), RunOutcome::Finished, "{design}");
+        tally(&m)
+    }
+
+    #[test]
+    fn all_items_arrive_intact_without_fences() {
+        let (p, c, bad) = run(FenceDesign::SPlus, 8, 200);
+        assert_eq!(p, 200);
+        assert_eq!(c, 200);
+        assert_eq!(bad, 0, "TSO needs no fences for Lamport's SPSC queue");
+    }
+
+    #[test]
+    fn tiny_ring_applies_backpressure_correctly() {
+        let (p, c, bad) = run(FenceDesign::SPlus, 1, 60);
+        assert_eq!((p, c, bad), (60, 60, 0), "capacity-1 ring fully serializes");
+    }
+
+    #[test]
+    fn weak_designs_do_not_disturb_the_queue() {
+        for design in [FenceDesign::WsPlus, FenceDesign::WPlus, FenceDesign::Wee] {
+            let (p, c, bad) = run(design, 8, 120);
+            assert_eq!((p, c, bad), (120, 120, 0), "{design}");
+        }
+    }
+
+    #[test]
+    fn payloads_are_nonzero_and_distinct() {
+        let a = payload(1);
+        let b = payload(2);
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+}

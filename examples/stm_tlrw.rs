@@ -1,0 +1,54 @@
+//! Software transactional memory: TLRW read/write-lock transactions with
+//! a weak fence in the (frequent) read barrier and a strong fence in the
+//! (rare) write barrier — the paper's §4.2 usage. Reports transactional
+//! throughput like Figure 9.
+//!
+//! Run with: `cargo run --release --example stm_tlrw [bench]`
+
+use asymfence_suite::prelude::*;
+use asymfence_suite::workloads::tlrw;
+use asymfence_suite::workloads::ustm::{self, UstmBench};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Hash".into());
+    let bench = UstmBench::ALL
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(&name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark {name:?}; using Hash");
+            UstmBench::Hash
+        });
+
+    const WINDOW: u64 = 3_000_000; // simulated cycles per run
+    println!(
+        "TLRW STM: {} for {} simulated cycles on 8 cores\n",
+        bench.name(),
+        WINDOW
+    );
+
+    let mut base = None;
+    for design in [
+        FenceDesign::SPlus,
+        FenceDesign::WsPlus,
+        FenceDesign::WPlus,
+        FenceDesign::Wee,
+    ] {
+        let cfg = MachineConfig::builder()
+            .cores(8)
+            .fence_design(design)
+            .seed(2015)
+            .build();
+        let mut m = Machine::new(&cfg);
+        ustm::install(&mut m, bench, cfg.seed, None);
+        m.run(WINDOW);
+        let (commits, aborts) = tlrw::tally(&m);
+        let b = *base.get_or_insert(commits.max(1));
+        let stats = m.stats();
+        println!(
+            "{:>4}: {commits:>7} commits ({:>5.1}% of S+) | {aborts} aborts | fence stall {:>4.1}%",
+            design.label(),
+            100.0 * commits as f64 / b as f64,
+            100.0 * stats.fence_stall_fraction(),
+        );
+    }
+}

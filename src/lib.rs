@@ -1,0 +1,14 @@
+//! Facade for the workspace's top-level examples and integration tests.
+//!
+//! Downstream users should depend on the [`asymfence`] and
+//! [`asymfence_workloads`] crates directly; this crate only re-exports them
+//! so the repository's `examples/` and `tests/` have a single import root.
+
+pub use asymfence;
+pub use asymfence_workloads as workloads;
+
+/// Commonly used items for examples and tests.
+pub mod prelude {
+    pub use asymfence::prelude::*;
+    pub use asymfence_workloads as workloads;
+}
