@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline: the workspace has no external
+# dependencies, so every step runs with --offline and must succeed on a
+# machine with no network and no registry cache.
+#
+#   ./ci.sh         full tier-1 + explorer smoke sweep
+#   ./ci.sh quick   skip the release build (fast local loop)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+QUICK="${1:-}"
+
+echo "== build (release, offline) =="
+if [ "$QUICK" != "quick" ]; then
+  cargo build --release --offline --workspace
+fi
+
+echo "== test (workspace, offline) =="
+cargo test -q --offline --workspace
+
+echo "== explorer smoke sweep =="
+# Known-bad must be caught (exit 1 from the sweep is the expected result)...
+if cargo run -q --release --offline -p asymfence-explore --bin explore -- \
+    --scenario sb-unfenced --design S+ --seeds 64; then
+  echo "FATAL: unfenced store-buffering passed the sweep" >&2
+  exit 1
+fi
+# ...and known-good must sweep clean under every design.
+cargo run -q --release --offline -p asymfence-explore --bin explore -- \
+  --scenario sb-fenced --design all --seeds 256
+cargo run -q --release --offline -p asymfence-explore --bin explore -- \
+  --scenario 3cycle --design all --seeds 64
+
+echo "== benches compile (offline) =="
+cargo build --offline --benches --workspace
+
+echo "CI OK"

@@ -1,48 +1,38 @@
-//! Criterion wrappers around scaled-down paper experiments, so
-//! `cargo bench` exercises every figure's code path quickly. The real
-//! figure regeneration lives in the `src/bin/*` harness binaries.
+//! Wall-clock timings of scaled-down paper experiments, so `cargo bench`
+//! exercises every figure's code path quickly. The real figure
+//! regeneration lives in the `src/bin/*` harness binaries. Runs on the
+//! in-repo timing harness; `ASF_BENCH_ITERS` overrides the budget.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use asymfence::prelude::FenceDesign;
+use asymfence_bench::timing::{iters_from_env, Report};
 use asymfence_bench::{run_cilk, run_stamp, run_ustm};
 use asymfence_workloads::cilk::CilkApp;
 use asymfence_workloads::stamp::StampApp;
 use asymfence_workloads::ustm::UstmBench;
 
-fn bench_fig08_path(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig08_fib_4core");
-    g.sample_size(10);
+fn main() {
+    let iters = iters_from_env(10);
+    let mut report = Report::new();
+
     for design in [FenceDesign::SPlus, FenceDesign::WsPlus, FenceDesign::WPlus] {
-        g.bench_function(design.label(), |b| {
-            b.iter(|| black_box(run_cilk(CilkApp::Fib, design, 4, 1).cycles));
+        report.bench(&format!("fig08_fib_4core/{}", design.label()), iters, || {
+            black_box(run_cilk(CilkApp::Fib, design, 4, 1).cycles)
         });
     }
-    g.finish();
-}
 
-fn bench_fig09_path(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig09_hash_4core_100k");
-    g.sample_size(10);
     for design in [FenceDesign::SPlus, FenceDesign::WPlus, FenceDesign::Wee] {
-        g.bench_function(design.label(), |b| {
-            b.iter(|| black_box(run_ustm(UstmBench::Hash, design, 4, 1, 100_000).commits));
+        report.bench(&format!("fig09_hash_4core_100k/{}", design.label()), iters, || {
+            black_box(run_ustm(UstmBench::Hash, design, 4, 1, 100_000).commits)
         });
     }
-    g.finish();
-}
 
-fn bench_fig11_path(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig11_ssca2_2core");
-    g.sample_size(10);
     for design in [FenceDesign::SPlus, FenceDesign::WPlus] {
-        g.bench_function(design.label(), |b| {
-            b.iter(|| black_box(run_stamp(StampApp::Ssca2, design, 2, 1).cycles));
+        report.bench(&format!("fig11_ssca2_2core/{}", design.label()), iters, || {
+            black_box(run_stamp(StampApp::Ssca2, design, 2, 1).cycles)
         });
     }
-    g.finish();
-}
 
-criterion_group!(benches, bench_fig08_path, bench_fig09_path, bench_fig11_path);
-criterion_main!(benches);
+    println!("\n{}", report.to_markdown());
+}

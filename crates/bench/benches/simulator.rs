@@ -1,73 +1,62 @@
-//! Criterion microbenchmarks of the simulator itself: host-side
-//! throughput of the mesh, the coherence protocol, and full-machine
-//! stepping. These guard against performance regressions in the
-//! substrate (they measure the simulator, not the simulated machine).
+//! Microbenchmarks of the simulator itself: host-side throughput of the
+//! mesh, the coherence protocol, and full-machine stepping. These guard
+//! against performance regressions in the substrate (they measure the
+//! simulator, not the simulated machine). Runs on the in-repo timing
+//! harness; `ASF_BENCH_ITERS` overrides the iteration budget.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use asymfence::prelude::*;
+use asymfence_bench::timing::{iters_from_env, Report};
 use asymfence_workloads::cilk::{self, CilkApp};
 
-fn bench_machine_step(c: &mut Criterion) {
-    c.bench_function("machine_step_idle_8core", |b| {
+fn main() {
+    let iters = iters_from_env(10);
+    let mut report = Report::new();
+
+    {
         let cfg = MachineConfig::builder().cores(8).build();
         let mut m = Machine::new(&cfg);
-        b.iter(|| {
-            m.step();
+        report.bench("machine_step_idle_8core_x1000", iters, || {
+            for _ in 0..1000 {
+                m.step();
+            }
             black_box(m.now())
-        });
-    });
-}
-
-fn bench_fib_simulation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_fib_2core");
-    g.sample_size(10);
-    for design in [FenceDesign::SPlus, FenceDesign::WsPlus] {
-        g.bench_function(design.label(), |b| {
-            b.iter(|| {
-                let cfg = MachineConfig::builder()
-                    .cores(2)
-                    .fence_design(design)
-                    .build();
-                let mut m = Machine::new(&cfg);
-                for p in cilk::programs(CilkApp::Fib, &cfg, 1) {
-                    m.add_thread(p);
-                }
-                assert_eq!(m.run(1_000_000_000), RunOutcome::Finished);
-                black_box(m.now())
-            });
         });
     }
-    g.finish();
-}
 
-fn bench_coherence_ping_pong(c: &mut Criterion) {
-    c.bench_function("coherence_ping_pong", |b| {
-        b.iter(|| {
-            let cfg = MachineConfig::builder().cores(2).build();
+    for design in [FenceDesign::SPlus, FenceDesign::WsPlus] {
+        report.bench(&format!("simulate_fib_2core/{}", design.label()), iters, || {
+            let cfg = MachineConfig::builder()
+                .cores(2)
+                .fence_design(design)
+                .build();
             let mut m = Machine::new(&cfg);
-            let a = Addr::new(0x40);
-            let mk = |v: u64| {
-                let mut is = Vec::new();
-                for i in 0..50 {
-                    is.push(Instr::Store { addr: a, value: v + i });
-                    is.push(Instr::Load { addr: a, tag: Some(1) });
-                }
-                ScriptProgram::new(is).0
-            };
-            m.add_thread(Box::new(mk(1)));
-            m.add_thread(Box::new(mk(1000)));
-            assert_eq!(m.run(10_000_000), RunOutcome::Finished);
+            for p in cilk::programs(CilkApp::Fib, &cfg, 1) {
+                m.add_thread(p);
+            }
+            assert_eq!(m.run(1_000_000_000), RunOutcome::Finished);
             black_box(m.now())
         });
-    });
-}
+    }
 
-criterion_group!(
-    benches,
-    bench_machine_step,
-    bench_fib_simulation,
-    bench_coherence_ping_pong
-);
-criterion_main!(benches);
+    report.bench("coherence_ping_pong", iters, || {
+        let cfg = MachineConfig::builder().cores(2).build();
+        let mut m = Machine::new(&cfg);
+        let a = Addr::new(0x40);
+        let mk = |v: u64| {
+            let mut is = Vec::new();
+            for i in 0..50 {
+                is.push(Instr::Store { addr: a, value: v + i });
+                is.push(Instr::Load { addr: a, tag: Some(1) });
+            }
+            ScriptProgram::new(is).0
+        };
+        m.add_thread(Box::new(mk(1)));
+        m.add_thread(Box::new(mk(1000)));
+        assert_eq!(m.run(10_000_000), RunOutcome::Finished);
+        black_box(m.now())
+    });
+
+    println!("\n{}", report.to_markdown());
+}

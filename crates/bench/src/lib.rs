@@ -266,6 +266,144 @@ pub fn mean(xs: &[f64]) -> f64 {
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 
+/// Minimal in-repo wall-clock benchmarking, replacing the external
+/// criterion dependency (which cannot build offline). Used by the
+/// `benches/*.rs` binaries (`harness = false`).
+pub mod timing {
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    /// Measurements for one benchmark.
+    #[derive(Clone, Debug)]
+    pub struct Timing {
+        /// Benchmark label.
+        pub name: String,
+        /// Measured iterations (after one warm-up).
+        pub iters: u32,
+        /// Mean nanoseconds per iteration.
+        pub mean_ns: f64,
+        /// Fastest iteration.
+        pub min_ns: u64,
+        /// Slowest iteration.
+        pub max_ns: u64,
+    }
+
+    impl Timing {
+        fn human(ns: f64) -> String {
+            if ns >= 1e9 {
+                format!("{:.2} s", ns / 1e9)
+            } else if ns >= 1e6 {
+                format!("{:.2} ms", ns / 1e6)
+            } else if ns >= 1e3 {
+                format!("{:.2} µs", ns / 1e3)
+            } else {
+                format!("{ns:.0} ns")
+            }
+        }
+    }
+
+    /// Iteration budget: `ASF_BENCH_ITERS` overrides the default.
+    pub fn iters_from_env(default: u32) -> u32 {
+        std::env::var("ASF_BENCH_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(default)
+    }
+
+    /// Runs `f` once to warm up, then `iters` timed iterations.
+    pub fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> Timing {
+        black_box(f());
+        let mut samples = Vec::with_capacity(iters as usize);
+        for _ in 0..iters {
+            let start = Instant::now();
+            black_box(f());
+            samples.push(start.elapsed().as_nanos() as u64);
+        }
+        Timing {
+            name: name.to_string(),
+            iters,
+            mean_ns: samples.iter().sum::<u64>() as f64 / samples.len() as f64,
+            min_ns: samples.iter().copied().min().unwrap_or(0),
+            max_ns: samples.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// Collects timings and prints one markdown table at the end.
+    #[derive(Default)]
+    pub struct Report {
+        rows: Vec<Timing>,
+    }
+
+    impl Report {
+        /// Creates an empty report.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Benches `f` and records the result (also echoed immediately).
+        pub fn bench<R>(&mut self, name: &str, iters: u32, f: impl FnMut() -> R) {
+            let t = bench(name, iters, f);
+            println!(
+                "{:40} {:>10}/iter  (min {}, max {}, {} iters)",
+                t.name,
+                Timing::human(t.mean_ns),
+                Timing::human(t.min_ns as f64),
+                Timing::human(t.max_ns as f64),
+                t.iters
+            );
+            self.rows.push(t);
+        }
+
+        /// Renders all rows as a markdown table.
+        pub fn to_markdown(&self) -> String {
+            let mut t = super::Table::new(vec!["benchmark", "mean/iter", "min", "max", "iters"]);
+            for r in &self.rows {
+                t.row(vec![
+                    r.name.clone(),
+                    Timing::human(r.mean_ns),
+                    Timing::human(r.min_ns as f64),
+                    Timing::human(r.max_ns as f64),
+                    r.iters.to_string(),
+                ]);
+            }
+            t.to_markdown()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bench_measures_and_reports() {
+            let mut calls = 0u32;
+            let t = bench("spin", 3, || {
+                calls += 1;
+                std::hint::black_box(calls)
+            });
+            assert_eq!(calls, 4); // 1 warm-up + 3 timed
+            assert_eq!(t.iters, 3);
+            assert!(t.min_ns <= t.max_ns);
+            assert!(t.mean_ns >= t.min_ns as f64);
+        }
+
+        #[test]
+        fn report_renders_markdown() {
+            let mut r = Report::new();
+            r.bench("noop", 2, || 1 + 1);
+            let md = r.to_markdown();
+            assert!(md.contains("noop"));
+            assert!(md.contains("mean/iter"));
+        }
+
+        #[test]
+        fn env_knob_parses() {
+            assert_eq!(iters_from_env(7), 7); // unset → default
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

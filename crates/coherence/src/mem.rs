@@ -174,6 +174,8 @@ pub struct MemSystem {
     local: BinaryHeap<Reverse<(Cycle, u64, usize, LocalEvSlot)>>,
     local_seq: u64,
     next_token: Token,
+    /// Monotone message counter feeding the perturbation draws.
+    perturb_seq: u64,
 }
 
 impl MemSystem {
@@ -221,6 +223,7 @@ impl MemSystem {
             local: BinaryHeap::new(),
             local_seq: 0,
             next_token: 1,
+            perturb_seq: 0,
         }
     }
 
@@ -252,7 +255,30 @@ impl MemSystem {
     fn send(&mut self, now: Cycle, src: usize, dst: usize, msg: Msg) {
         let bytes = msg_bytes(&msg, self.cfg.line_bytes);
         let retry = msg_is_retry(&msg);
-        self.net.send(now, src, dst, bytes, retry, msg);
+        let p = self.cfg.perturb;
+        let extra = if p.is_active() {
+            self.perturb_seq += 1;
+            // Generic NoC jitter on every message, plus extra lag on
+            // invalidation deliveries (reorders invals against data
+            // replies and other sharers' invals; per-pair FIFO is kept
+            // by the network layer, so the protocol stays legal).
+            let mut e = p.draw(
+                asymfence_common::Perturbation::STREAM_NOC,
+                self.perturb_seq,
+                p.noc_jitter,
+            );
+            if matches!(msg, Msg::Inv { .. }) {
+                e += p.draw(
+                    asymfence_common::Perturbation::STREAM_INVAL,
+                    self.perturb_seq,
+                    p.inval_delay,
+                );
+            }
+            e
+        } else {
+            0
+        };
+        self.net.send_delayed(now, src, dst, bytes, retry, extra, msg);
     }
 
     // ------------------------------------------------------------------

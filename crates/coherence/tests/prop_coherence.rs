@@ -1,20 +1,32 @@
 //! Property-based tests of the coherence substrate: the memory system
 //! must behave like a single serializable memory no matter how requests
 //! interleave.
-
-use proptest::prelude::*;
+//!
+//! Runs on the in-repo property harness (`asymfence_common::prop`):
+//! failing case seeds persist to `tests/regressions/prop_coherence.seeds`
+//! and replay before fresh cases. `ASF_PROP_CASES` / `ASF_PROP_SEED`
+//! override the budget and base seed.
 
 use asymfence_coherence::mem::{MemEvent, MemSystem};
 use asymfence_coherence::RmwKind;
 use asymfence_common::config::MachineConfig;
 use asymfence_common::ids::{Addr, CoreId};
+use asymfence_common::prop::{bools, check, pairs, triples, u64s, usizes, vecs, Config};
 
 fn cfg(cores: usize) -> MachineConfig {
     MachineConfig::builder().cores(cores).build()
 }
 
+fn prop_cfg(cases: u32) -> Config {
+    Config::from_env(cases).regressions("tests/regressions/prop_coherence.seeds")
+}
+
 /// Drives the memory system until idle, collecting events per core.
-fn run_to_idle(ms: &mut MemSystem, start: u64, limit: u64) -> Vec<(usize, MemEvent)> {
+fn run_to_idle(
+    ms: &mut MemSystem,
+    start: u64,
+    limit: u64,
+) -> Result<Vec<(usize, MemEvent)>, String> {
     let mut events = Vec::new();
     for t in start..start + limit {
         ms.tick(t);
@@ -27,58 +39,67 @@ fn run_to_idle(ms: &mut MemSystem, start: u64, limit: u64) -> Vec<(usize, MemEve
             break;
         }
     }
-    assert!(ms.is_idle(), "memory system must quiesce");
-    events
+    if !ms.is_idle() {
+        return Err("memory system must quiesce".into());
+    }
+    Ok(events)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Single-core sequential semantics: a serial run of stores and loads
-    /// matches a simple map model.
-    #[test]
-    fn single_core_matches_memory_model(
-        ops in prop::collection::vec((0u64..16, 0u64..1000, prop::bool::ANY), 1..40)
-    ) {
+/// Single-core sequential semantics: a serial run of stores and loads
+/// matches a simple map model.
+#[test]
+fn single_core_matches_memory_model() {
+    let gen = vecs(triples(u64s(0, 15), u64s(0, 999), bools()), 1, 40);
+    check("single_core_matches_memory_model", &prop_cfg(24), &gen, |ops| {
         let mut ms = MemSystem::new(&cfg(2));
         let mut model = std::collections::HashMap::new();
         let mut t = 0u64;
-        for (slot, value, is_store) in ops {
+        for &(slot, value, is_store) in ops {
             let addr = Addr::new(slot * 8);
             if is_store {
                 ms.issue_store(t, CoreId(0), addr, value);
-                let evs = run_to_idle(&mut ms, t, 5_000);
-                let store_done = evs.iter().any(|(_, e)| matches!(e, MemEvent::StoreDone { .. }));
-                prop_assert!(store_done);
+                let evs = run_to_idle(&mut ms, t, 5_000)?;
+                let store_done = evs
+                    .iter()
+                    .any(|(_, e)| matches!(e, MemEvent::StoreDone { .. }));
+                if !store_done {
+                    return Err("store did not complete".into());
+                }
                 model.insert(slot, value);
             } else {
                 let tok = ms.issue_load(t, CoreId(0), addr);
-                let evs = run_to_idle(&mut ms, t, 5_000);
+                let evs = run_to_idle(&mut ms, t, 5_000)?;
                 let got = evs.iter().find_map(|(_, e)| match e {
                     MemEvent::LoadDone { token, value } if *token == tok => Some(*value),
                     _ => None,
                 });
-                prop_assert_eq!(got, Some(*model.get(&slot).unwrap_or(&0)));
+                let want = Some(*model.get(&slot).unwrap_or(&0));
+                if got != want {
+                    return Err(format!("load of slot {slot}: got {got:?}, want {want:?}"));
+                }
             }
             t += 5_000;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Write serialization: concurrent stores from many cores to random
-    /// addresses leave every word holding one of the values written to it.
-    #[test]
-    fn concurrent_stores_serialize(
-        writes in prop::collection::vec((0usize..4, 0u64..6, 1u64..1000), 4..32)
-    ) {
+/// Write serialization: concurrent stores from many cores to random
+/// addresses leave every word holding one of the values written to it.
+#[test]
+fn concurrent_stores_serialize() {
+    let gen = vecs(triples(usizes(0, 3), u64s(0, 5), u64s(1, 999)), 4, 32);
+    check("concurrent_stores_serialize", &prop_cfg(24), &gen, |writes| {
         let mut ms = MemSystem::new(&cfg(4));
         let mut per_core_busy = [false; 4];
         // Issue at most one store per core at a time (TSO write buffer).
         let mut t = 0u64;
-        let mut written: std::collections::HashMap<u64, Vec<u64>> = std::collections::HashMap::new();
-        for (core, slot, value) in writes {
+        let mut written: std::collections::HashMap<u64, Vec<u64>> =
+            std::collections::HashMap::new();
+        for &(core, slot, value) in writes {
             if per_core_busy[core] {
                 // Drain everything before reusing the core.
-                run_to_idle(&mut ms, t, 200_000);
+                run_to_idle(&mut ms, t, 200_000)?;
                 per_core_busy = [false; 4];
                 t += 200_000;
             }
@@ -87,20 +108,21 @@ proptest! {
             written.entry(slot).or_default().push(value);
             t += 3; // slight stagger
         }
-        run_to_idle(&mut ms, t, 400_000);
+        run_to_idle(&mut ms, t, 400_000)?;
         for (slot, values) in &written {
             let final_v = ms.backdoor_read(Addr::new(slot * 8));
-            prop_assert!(
-                values.contains(&final_v),
-                "slot {slot} holds {final_v}, not among {values:?}"
-            );
+            if !values.contains(&final_v) {
+                return Err(format!("slot {slot} holds {final_v}, not among {values:?}"));
+            }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Atomicity: N concurrent fetch-add(1) streams to one word sum
-    /// exactly.
-    #[test]
-    fn rmw_add_is_atomic(per_core in 1u64..6) {
+/// Atomicity: N concurrent fetch-add(1) streams to one word sum exactly.
+#[test]
+fn rmw_add_is_atomic() {
+    check("rmw_add_is_atomic", &prop_cfg(24), &u64s(1, 5), |&per_core| {
         let cores = 4usize;
         let mut ms = MemSystem::new(&cfg(cores));
         let addr = Addr::new(0x40);
@@ -129,22 +151,32 @@ proptest! {
                 }
             }
             t += 1;
-            prop_assert!(t < 2_000_000, "RMW streams must make progress");
+            if t >= 2_000_000 {
+                return Err("RMW streams must make progress".into());
+            }
         }
-        run_to_idle(&mut ms, t, 100_000);
-        prop_assert_eq!(ms.backdoor_read(addr), per_core * cores as u64);
-    }
+        run_to_idle(&mut ms, t, 100_000)?;
+        let got = ms.backdoor_read(addr);
+        let want = per_core * cores as u64;
+        if got != want {
+            return Err(format!("sum {got}, want {want}"));
+        }
+        Ok(())
+    });
+}
 
-    /// A Bypass-Set entry always bounces conflicting writes until cleared,
-    /// and the write always completes afterwards.
-    #[test]
-    fn bounce_then_complete(slot in 0u64..32, value in 1u64..100) {
+/// A Bypass-Set entry always bounces conflicting writes until cleared,
+/// and the write always completes afterwards.
+#[test]
+fn bounce_then_complete() {
+    let gen = pairs(u64s(0, 31), u64s(1, 99));
+    check("bounce_then_complete", &prop_cfg(24), &gen, |&(slot, value)| {
         let mut ms = MemSystem::new(&cfg(2));
         let addr = Addr::new(slot * 8);
         let line = asymfence_common::ids::LineAddr::containing(addr, 32);
         // Core 1 reads and protects the line.
         ms.issue_load(0, CoreId(1), addr);
-        run_to_idle(&mut ms, 0, 10_000);
+        run_to_idle(&mut ms, 0, 10_000)?;
         ms.bs_insert(CoreId(1), line, 1, 1);
         // Core 0 writes: must bounce at least once.
         let tok = ms.issue_store(10_000, CoreId(0), addr, value);
@@ -160,7 +192,9 @@ proptest! {
                 break;
             }
         }
-        prop_assert!(bounced, "BS must bounce the conflicting write");
+        if !bounced {
+            return Err("BS must bounce the conflicting write".into());
+        }
         // Clear the BS: the store completes and the value lands.
         ms.bs_clear_completed(CoreId(1), 1);
         let mut completed = false;
@@ -176,7 +210,13 @@ proptest! {
                 break;
             }
         }
-        prop_assert!(completed);
-        prop_assert_eq!(ms.backdoor_read(addr), value);
-    }
+        if !completed {
+            return Err("store must complete after BS clear".into());
+        }
+        let got = ms.backdoor_read(addr);
+        if got != value {
+            return Err(format!("memory holds {got}, want {value}"));
+        }
+        Ok(())
+    });
 }

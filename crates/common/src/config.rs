@@ -94,6 +94,62 @@ impl fmt::Display for FenceDesign {
     }
 }
 
+/// Deterministic timing perturbations for schedule exploration.
+///
+/// The simulator is cycle-accurate and deterministic, so a single run
+/// exercises exactly one interleaving. The exploration engine
+/// (`asymfence-explore`) sweeps seeds; each seed stretches latencies at
+/// three independent injection points, within bounds the coherence
+/// protocol tolerates by construction:
+///
+/// * **NoC delay jitter** — every network message may arrive up to
+///   `noc_jitter` cycles late. Point-to-point FIFO order (which the
+///   protocol relies on) is preserved by the network layer.
+/// * **Write-buffer drain stalls** — each store may wait up to
+///   `wb_stall` extra cycles in the write buffer before issuing,
+///   widening the window in which post-fence loads run ahead.
+/// * **Invalidation reordering** — invalidation (`Inv`) deliveries may
+///   lag an additional `inval_delay` cycles, reordering invalidations
+///   against data replies and against other sharers' invalidations.
+///
+/// All perturbations are pure functions of `(seed, injection point,
+/// event index)`, so a seed reproduces a run cycle-for-cycle. The
+/// default (`all zero`) disables perturbation entirely and leaves the
+/// baseline timing untouched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Perturbation {
+    /// Seed for all perturbation draws.
+    pub seed: u64,
+    /// Max extra cycles added to any network message's delivery.
+    pub noc_jitter: u64,
+    /// Max extra cycles a store waits in the write buffer before issuing.
+    pub wb_stall: u64,
+    /// Max *additional* extra cycles on invalidation deliveries.
+    pub inval_delay: u64,
+}
+
+impl Perturbation {
+    /// Perturbation streams (namespaces for [`Perturbation::draw`]).
+    pub const STREAM_NOC: u64 = 0x6E6F_63;
+    /// Write-buffer stall stream.
+    pub const STREAM_WB: u64 = 0x7762;
+    /// Invalidation delay stream.
+    pub const STREAM_INVAL: u64 = 0x696E_76;
+
+    /// Whether any perturbation is enabled.
+    pub fn is_active(&self) -> bool {
+        self.noc_jitter != 0 || self.wb_stall != 0 || self.inval_delay != 0
+    }
+
+    /// Deterministic draw in `[0, max]` for event `event` of `stream`.
+    pub fn draw(&self, stream: u64, event: u64, max: u64) -> u64 {
+        if max == 0 {
+            return 0;
+        }
+        crate::rng::mix64(&[self.seed, stream, event]) % (max + 1)
+    }
+}
+
 /// Full configuration of a simulated machine.
 ///
 /// Construct with [`MachineConfig::default`] (the paper's machine) or
@@ -167,6 +223,8 @@ pub struct MachineConfig {
     pub record_scv_log: bool,
     /// RNG seed threaded to workloads for deterministic runs.
     pub seed: u64,
+    /// Deterministic timing perturbations (off by default).
+    pub perturb: Perturbation,
 }
 
 impl Default for MachineConfig {
@@ -196,6 +254,7 @@ impl Default for MachineConfig {
             watchdog_cycles: 200_000,
             record_scv_log: false,
             seed: 0xA5F0_2015,
+            perturb: Perturbation::default(),
         }
     }
 }
@@ -273,6 +332,10 @@ impl MachineConfig {
         }
         if self.dir_interleave_lines == 0 {
             return Err("dir_interleave_lines must be nonzero".into());
+        }
+        let p = &self.perturb;
+        if p.noc_jitter.max(p.wb_stall).max(p.inval_delay) >= self.watchdog_cycles {
+            return Err("perturbation delays must stay below watchdog_cycles".into());
         }
         Ok(())
     }
@@ -386,6 +449,12 @@ impl MachineConfigBuilder {
         self
     }
 
+    /// Sets the deterministic timing perturbations.
+    pub fn perturb(mut self, p: Perturbation) -> Self {
+        self.cfg.perturb = p;
+        self
+    }
+
     /// Applies an arbitrary mutation, for knobs without a dedicated setter.
     pub fn tweak(mut self, f: impl FnOnce(&mut MachineConfig)) -> Self {
         f(&mut self.cfg);
@@ -483,6 +552,41 @@ mod tests {
     #[should_panic(expected = "invalid MachineConfig")]
     fn builder_panics_on_invalid() {
         let _ = MachineConfig::builder().cores(0).build();
+    }
+
+    #[test]
+    fn perturbation_defaults_off_and_draws_deterministically() {
+        let p = Perturbation::default();
+        assert!(!p.is_active());
+        assert_eq!(p.draw(Perturbation::STREAM_NOC, 7, 0), 0);
+
+        let p = Perturbation {
+            seed: 11,
+            noc_jitter: 8,
+            wb_stall: 0,
+            inval_delay: 0,
+        };
+        assert!(p.is_active());
+        let a = p.draw(Perturbation::STREAM_NOC, 3, 8);
+        let b = p.draw(Perturbation::STREAM_NOC, 3, 8);
+        assert_eq!(a, b);
+        assert!(a <= 8);
+        // Different events and streams draw independently.
+        let evs: std::collections::HashSet<u64> =
+            (0..64).map(|e| p.draw(Perturbation::STREAM_NOC, e, 8)).collect();
+        assert!(evs.len() > 1, "draws must vary by event");
+    }
+
+    #[test]
+    fn perturbation_bounded_by_watchdog() {
+        let mut c = MachineConfig::default();
+        c.perturb = Perturbation {
+            seed: 1,
+            noc_jitter: c.watchdog_cycles,
+            wb_stall: 0,
+            inval_delay: 0,
+        };
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! This crate holds the types that every layer of the stack speaks:
 //! addresses and identifiers ([`ids`]), the machine configuration
 //! ([`config`]), statistics counters ([`stats`]), a deterministic RNG
-//! wrapper ([`rng`]) and small utility containers ([`queue`]).
+//! ([`rng`]), a hermetic property-testing harness ([`prop`]) and small
+//! utility containers ([`queue`]).
 //!
 //! # Examples
 //!
@@ -20,12 +21,13 @@
 
 pub mod config;
 pub mod ids;
+pub mod prop;
 pub mod queue;
 pub mod rng;
 pub mod scvlog;
 pub mod stats;
 
-pub use config::{FenceDesign, MachineConfig, MachineConfigBuilder};
+pub use config::{FenceDesign, MachineConfig, MachineConfigBuilder, Perturbation};
 pub use ids::{Addr, BankId, CoreId, Cycle, LineAddr, WordIdx};
 pub use rng::SimRng;
 pub use scvlog::{ScvEvent, ScvLog};

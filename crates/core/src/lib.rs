@@ -65,7 +65,9 @@ pub mod prelude {
     pub use crate::machine::{Machine, RunOutcome};
     pub use crate::scv;
     pub use asymfence_coherence::RmwKind;
-    pub use asymfence_common::config::{FenceDesign, MachineConfig, MachineConfigBuilder};
+    pub use asymfence_common::config::{
+        FenceDesign, MachineConfig, MachineConfigBuilder, Perturbation,
+    };
     pub use asymfence_common::ids::{Addr, CoreId, Cycle, LineAddr};
     pub use asymfence_common::rng::SimRng;
     pub use asymfence_common::stats::{CoreStats, MachineStats};

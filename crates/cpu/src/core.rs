@@ -91,6 +91,10 @@ struct WbEntry {
     seq: u64,
     /// Issued to the memory system (token of the transaction).
     issued: Option<Token>,
+    /// Earliest cycle the entry may issue (schedule-exploration
+    /// perturbation: a deterministic per-store drain stall; 0 when
+    /// perturbation is off).
+    ready_at: Cycle,
 }
 
 #[derive(Clone, Debug)]
@@ -493,12 +497,21 @@ impl Core {
                     self.rob.pop_front();
                     let serial = self.next_store_serial;
                     self.next_store_serial += 1;
+                    let p = self.cfg.perturb;
+                    let ready_at = now
+                        + p.draw(
+                            asymfence_common::config::Perturbation::STREAM_WB
+                                ^ (self.id.0 as u64) << 32,
+                            serial,
+                            p.wb_stall,
+                        );
                     self.wb.push_back(WbEntry {
                         addr,
                         value,
                         serial,
                         seq,
                         issued: None,
+                        ready_at,
                     });
                     self.stats.stores += 1;
                     self.stats.instrs_retired += 1;
@@ -747,6 +760,14 @@ impl Core {
             }
             if w.serial > bound {
                 break;
+            }
+            if now < w.ready_at {
+                // Perturbation drain stall: TSO (width 1) keeps FIFO
+                // order, so younger stores wait behind the stalled head.
+                if width == 1 {
+                    break;
+                }
+                continue;
             }
             let line = LineAddr::containing(w.addr, line_bytes);
             // Per-line order: wait for any older same-line store.

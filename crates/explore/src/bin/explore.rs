@@ -1,0 +1,129 @@
+//! Command-line front end for the schedule explorer.
+//!
+//! ```text
+//! explore --scenario sb-unfenced --design all --seeds 256
+//! explore --scenario sb-padded --design S+            # watch the shrinker work
+//! explore --scenario sb-fenced --design W+ --seed 17  # replay one seed
+//! ```
+
+use std::process::ExitCode;
+
+use asymfence::prelude::FenceDesign;
+use asymfence_explore::{ExploreConfig, Explorer, Scenario, ALL_DESIGNS};
+
+fn parse_design(s: &str) -> Option<Vec<FenceDesign>> {
+    Some(match s {
+        "all" => ALL_DESIGNS.to_vec(),
+        "S+" | "s+" => vec![FenceDesign::SPlus],
+        "WS+" | "ws+" => vec![FenceDesign::WsPlus],
+        "SW+" | "sw+" => vec![FenceDesign::SwPlus],
+        "W+" | "w+" => vec![FenceDesign::WPlus],
+        "Wee" | "wee" => vec![FenceDesign::Wee],
+        "unsafe" => vec![FenceDesign::WfOnlyUnsafe],
+        _ => return None,
+    })
+}
+
+fn parse_scenario(s: &str) -> Option<Scenario> {
+    Some(match s {
+        "sb-unfenced" => Scenario::store_buffering(false),
+        "sb-fenced" => Scenario::store_buffering(true),
+        "sb-padded" => Scenario::store_buffering_padded(),
+        "3cycle" => Scenario::three_thread_cycle(),
+        _ => return None,
+    })
+}
+
+const USAGE: &str = "usage: explore --scenario <sb-unfenced|sb-fenced|sb-padded|3cycle> \
+  --design <S+|WS+|SW+|W+|Wee|unsafe|all> [--seeds N] [--seed N]\n\
+  --seeds N   sweep seed indices 0..N (default 256; seed 0 = natural schedule)\n\
+  --seed N    replay exactly one seed instead of sweeping";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scenario = None;
+    let mut designs = None;
+    let mut cfg = ExploreConfig::default();
+    let mut single_seed = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| -> Option<&String> { args.get(i + 1) };
+        match args[i].as_str() {
+            "--scenario" => match need(i).and_then(|v| parse_scenario(v)) {
+                Some(s) => scenario = Some(s),
+                None => {
+                    eprintln!("unknown scenario\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--design" => match need(i).and_then(|v| parse_design(v)) {
+                Some(d) => designs = Some(d),
+                None => {
+                    eprintln!("unknown design\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--seeds" => match need(i).and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.seeds = n,
+                None => {
+                    eprintln!("--seeds needs a number\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--seed" => match need(i).and_then(|v| v.parse().ok()) {
+                Some(n) => single_seed = Some(n),
+                None => {
+                    eprintln!("--seed needs a number\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 2;
+    }
+
+    let (Some(scenario), Some(designs)) = (scenario, designs) else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    let ex = Explorer::new(cfg);
+    let mut dirty = false;
+    for design in designs {
+        let sc = scenario.clone().with_roles_for(design);
+        if let Some(seed) = single_seed {
+            match ex.run_seed(&sc, design, seed) {
+                None => println!("{design:?} seed {seed}: clean"),
+                Some(f) => {
+                    println!("{design:?} seed {seed}: FAILED\n{f}");
+                    dirty = true;
+                }
+            }
+            continue;
+        }
+        let report = ex.sweep(&sc, design);
+        match &report.violation {
+            None => println!(
+                "{design:?}: clean over {} seeds ({} runs)",
+                cfg.seeds, report.runs
+            ),
+            Some(cex) => {
+                println!("{design:?}: VIOLATION after {} runs\n{cex}", report.runs);
+                dirty = true;
+            }
+        }
+    }
+    if dirty {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,347 @@
+//! The deterministic schedule-exploration engine.
+//!
+//! An [`Explorer`] sweeps a [`Scenario`] across a budget of perturbation
+//! seeds. Seed 0 is always the natural (unperturbed) schedule; every
+//! other seed drives the simulator's coherence-legal perturbation hooks
+//! (NoC delay jitter, write-buffer drain stalls, invalidation delays)
+//! through a pure function of `(seed, stream, event-index)`, so any
+//! failing seed replays bit-identically.
+//!
+//! The oracle is the Shasha–Snir cycle checker over the run's perform
+//! log, plus outcome checks (deadlock / cycle-limit count as failures).
+//! On failure the explorer shrinks the scenario — fewest threads first,
+//! then fewest instructions, then the smallest reproducing seed — and
+//! reports the minimal counterexample with a human-readable cycle.
+
+use std::fmt;
+
+use asymfence::prelude::{scv, FenceDesign, Machine, Perturbation, RunOutcome};
+
+use crate::scenario::Scenario;
+
+/// All five safe designs from the paper, in presentation order.
+pub const ALL_DESIGNS: [FenceDesign; 5] = [
+    FenceDesign::SPlus,
+    FenceDesign::WsPlus,
+    FenceDesign::SwPlus,
+    FenceDesign::WPlus,
+    FenceDesign::Wee,
+];
+
+/// Exploration budgets and perturbation magnitudes.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreConfig {
+    /// Number of seeds to sweep (seed indices `0..seeds`). Seed 0 is the
+    /// unperturbed schedule.
+    pub seeds: u64,
+    /// Max extra cycles of NoC jitter per message.
+    pub noc_jitter: u64,
+    /// Max extra cycles a retired store waits before becoming drainable.
+    pub wb_stall: u64,
+    /// Max extra cycles added to invalidation delivery.
+    pub inval_delay: u64,
+    /// Per-run cycle budget.
+    pub max_cycles: u64,
+    /// Watchdog threshold passed to the machine.
+    pub watchdog_cycles: u64,
+    /// When a shrink candidate stops failing at the original seed, rescan
+    /// this many seeds (from 0) before discarding the candidate.
+    pub shrink_seed_window: u64,
+    /// Hard budget on simulator runs spent shrinking.
+    pub max_shrink_runs: u64,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            seeds: 256,
+            noc_jitter: 48,
+            wb_stall: 96,
+            inval_delay: 48,
+            max_cycles: 1_000_000,
+            watchdog_cycles: 20_000,
+            shrink_seed_window: 12,
+            max_shrink_runs: 3_000,
+        }
+    }
+}
+
+impl ExploreConfig {
+    /// The perturbation for a seed index: 0 means "natural schedule".
+    pub fn perturbation(&self, seed: u64) -> Perturbation {
+        if seed == 0 {
+            Perturbation::default()
+        } else {
+            Perturbation {
+                seed,
+                noc_jitter: self.noc_jitter,
+                wb_stall: self.wb_stall,
+                inval_delay: self.inval_delay,
+            }
+        }
+    }
+}
+
+/// Why a run failed the oracle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Failure {
+    /// Shasha–Snir found a cycle; the report comes from `describe_cycle`.
+    Scv {
+        /// Human-readable cycle walk.
+        report: String,
+    },
+    /// The machine's watchdog declared no forward progress.
+    Deadlock,
+    /// The run exhausted its cycle budget.
+    CycleLimit,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Failure::Scv { report } => write!(f, "{report}"),
+            Failure::Deadlock => write!(f, "machine deadlocked (watchdog fired)"),
+            Failure::CycleLimit => write!(f, "machine exceeded its cycle budget"),
+        }
+    }
+}
+
+/// A shrunk, reproducible failure.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The design under test.
+    pub design: FenceDesign,
+    /// The perturbation seed that reproduces the failure (0 = natural).
+    pub seed: u64,
+    /// The seed the sweep originally tripped on, before shrinking.
+    pub found_seed: u64,
+    /// The minimized scenario.
+    pub scenario: Scenario,
+    /// What the oracle saw.
+    pub failure: Failure,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "violation under design {:?} (found at seed {}, minimized to seed {}):",
+            self.design, self.found_seed, self.seed
+        )?;
+        write!(f, "{}", self.scenario)?;
+        writeln!(f, "{}", self.failure)?;
+        writeln!(
+            f,
+            "reproduce: re-run this scenario under {:?} with perturbation seed {} \
+             (seed 0 = natural schedule); identical budgets replay bit-identically.",
+            self.design, self.seed
+        )
+    }
+}
+
+/// Result of sweeping one (scenario, design) pair.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// The design swept.
+    pub design: FenceDesign,
+    /// Simulator runs performed (sweep + shrink).
+    pub runs: u64,
+    /// The minimized failure, if any seed tripped the oracle.
+    pub violation: Option<Counterexample>,
+}
+
+impl SweepReport {
+    /// True when the whole sweep passed the oracle.
+    pub fn clean(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// The engine. Stateless apart from its config; every method is a pure
+/// function of `(config, scenario, design)`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Explorer {
+    /// Budgets and magnitudes.
+    pub cfg: ExploreConfig,
+}
+
+impl Explorer {
+    /// Creates an explorer with the given budgets.
+    pub fn new(cfg: ExploreConfig) -> Self {
+        Explorer { cfg }
+    }
+
+    /// Runs one seed of the scenario and applies the oracle.
+    pub fn run_seed(
+        &self,
+        scenario: &Scenario,
+        design: FenceDesign,
+        seed: u64,
+    ) -> Option<Failure> {
+        let mut m: Machine = scenario.machine(
+            design,
+            self.cfg.perturbation(seed),
+            self.cfg.watchdog_cycles,
+        );
+        match m.run(self.cfg.max_cycles) {
+            RunOutcome::Deadlocked => return Some(Failure::Deadlock),
+            RunOutcome::CycleLimit => return Some(Failure::CycleLimit),
+            RunOutcome::Finished => {}
+        }
+        let log = m
+            .scv_log()
+            .expect("explorer machines always record the SCV log");
+        scv::find_cycle(log).map(|cycle| Failure::Scv {
+            report: scv::describe_cycle(log, &cycle),
+        })
+    }
+
+    /// Sweeps `0..cfg.seeds`; on the first failure, shrinks it and stops.
+    pub fn sweep(&self, scenario: &Scenario, design: FenceDesign) -> SweepReport {
+        let mut runs = 0;
+        for seed in 0..self.cfg.seeds {
+            runs += 1;
+            if let Some(failure) = self.run_seed(scenario, design, seed) {
+                let (cex, shrink_runs) = self.shrink(scenario.clone(), design, seed, failure);
+                return SweepReport {
+                    design,
+                    runs: runs + shrink_runs,
+                    violation: Some(cex),
+                };
+            }
+        }
+        SweepReport {
+            design,
+            runs,
+            violation: None,
+        }
+    }
+
+    /// Sweeps the scenario under every safe design.
+    pub fn sweep_all_designs(&self, scenario: &Scenario) -> Vec<SweepReport> {
+        ALL_DESIGNS
+            .iter()
+            .map(|&d| self.sweep(&scenario.clone().with_roles_for(d), d))
+            .collect()
+    }
+
+    /// Checks whether a candidate still fails, trying `seed` first and
+    /// then a small window of seeds from 0 up. Returns the reproducing
+    /// seed and failure, charging each run against `runs_left`.
+    fn refails(
+        &self,
+        scenario: &Scenario,
+        design: FenceDesign,
+        seed: u64,
+        runs_left: &mut u64,
+    ) -> Option<(u64, Failure)> {
+        let try_seed = |s: u64, runs_left: &mut u64| -> Option<(u64, Failure)> {
+            if *runs_left == 0 {
+                return None;
+            }
+            *runs_left -= 1;
+            self.run_seed(scenario, design, s).map(|f| (s, f))
+        };
+        if let Some(hit) = try_seed(seed, runs_left) {
+            return Some(hit);
+        }
+        for s in 0..self.cfg.shrink_seed_window {
+            if s == seed {
+                continue;
+            }
+            if let Some(hit) = try_seed(s, runs_left) {
+                return Some(hit);
+            }
+        }
+        None
+    }
+
+    /// Greedy structural shrink (threads first, then single ops — the
+    /// order [`Scenario::shrink_candidates`] emits), then seed
+    /// minimization. Returns the counterexample and runs spent.
+    fn shrink(
+        &self,
+        scenario: Scenario,
+        design: FenceDesign,
+        seed: u64,
+        failure: Failure,
+    ) -> (Counterexample, u64) {
+        let found_seed = seed;
+        let mut cur = (scenario, seed, failure);
+        let mut runs_left = self.cfg.max_shrink_runs;
+
+        // Phase 1+2: structural minimization to a local fixpoint.
+        loop {
+            let mut improved = false;
+            for cand in cur.0.shrink_candidates() {
+                if let Some((s, f)) = self.refails(&cand, design, cur.1, &mut runs_left) {
+                    cur = (cand, s, f);
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved || runs_left == 0 {
+                break;
+            }
+        }
+
+        // Phase 3: smallest reproducing seed for the minimal scenario.
+        for s in 0..cur.1 {
+            if runs_left == 0 {
+                break;
+            }
+            runs_left -= 1;
+            if let Some(f) = self.run_seed(&cur.0, design, s) {
+                cur = (cur.0, s, f);
+                break;
+            }
+        }
+
+        let spent = self.cfg.max_shrink_runs - runs_left;
+        let (scenario, seed, failure) = cur;
+        (
+            Counterexample {
+                design,
+                seed,
+                found_seed,
+                scenario,
+                failure,
+            },
+            spent,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_zero_is_unperturbed() {
+        let cfg = ExploreConfig::default();
+        assert!(!cfg.perturbation(0).is_active());
+        let p = cfg.perturbation(7);
+        assert!(p.is_active());
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.wb_stall, cfg.wb_stall);
+    }
+
+    #[test]
+    fn fenced_sb_single_seed_is_clean_under_all_designs() {
+        let ex = Explorer::default();
+        for &d in &ALL_DESIGNS {
+            let sc = Scenario::store_buffering(true).with_roles_for(d);
+            assert_eq!(ex.run_seed(&sc, d, 0), None, "design {d:?} seed 0");
+            assert_eq!(ex.run_seed(&sc, d, 1), None, "design {d:?} seed 1");
+        }
+    }
+
+    #[test]
+    fn run_seed_is_deterministic() {
+        let ex = Explorer::default();
+        let sc = Scenario::store_buffering(false);
+        let a = ex.run_seed(&sc, FenceDesign::WPlus, 3);
+        let b = ex.run_seed(&sc, FenceDesign::WPlus, 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,28 @@
+//! Deterministic schedule exploration for asymmetric-fence designs.
+//!
+//! This crate turns the simulator into a test oracle: it sweeps litmus
+//! [`Scenario`]s across perturbation seeds (NoC jitter, write-buffer
+//! drain stalls, invalidation delays — all within coherence-legal
+//! bounds), checks every run with the Shasha–Snir sequential-consistency
+//! checker, and on failure shrinks to a minimal counterexample: fewest
+//! threads, then fewest instructions, then the smallest reproducing
+//! seed. Everything is a pure function of the seed, so counterexamples
+//! replay bit-identically.
+//!
+//! ```
+//! use asymfence_explore::{Explorer, Scenario};
+//! use asymfence::prelude::FenceDesign;
+//!
+//! let ex = Explorer::default();
+//! let report = ex.sweep(&Scenario::store_buffering(false), FenceDesign::WfOnlyUnsafe);
+//! let cex = report.violation.expect("unfenced Dekker must trip the oracle");
+//! assert!(cex.scenario.threads.len() <= 2);
+//! ```
+
+pub mod explorer;
+pub mod scenario;
+
+pub use explorer::{
+    Counterexample, ExploreConfig, Explorer, Failure, SweepReport, ALL_DESIGNS,
+};
+pub use scenario::{slot_addr, Op, Scenario, ScenarioGen, ThreadSpec};

@@ -32,7 +32,7 @@
 //! ```
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 use asymfence_common::ids::Cycle;
 use asymfence_common::stats::TrafficStats;
@@ -173,6 +173,10 @@ pub struct Network<M> {
     in_flight: BinaryHeap<Reverse<Flight<M>>>,
     seq: u64,
     traffic: TrafficStats,
+    /// Latest arrival scheduled per (src, dst) pair. Injected delays
+    /// ([`Network::send_delayed`]) are clamped against this so the
+    /// point-to-point FIFO property survives arbitrary jitter.
+    pair_floor: HashMap<(usize, usize), Cycle>,
 }
 
 impl<M> Network<M> {
@@ -192,6 +196,7 @@ impl<M> Network<M> {
             in_flight: BinaryHeap::new(),
             seq: 0,
             traffic: TrafficStats::default(),
+            pair_floor: HashMap::new(),
         }
     }
 
@@ -206,6 +211,27 @@ impl<M> Network<M> {
     ///
     /// Self-sends (`src == dst`) take one cycle through the local switch.
     pub fn send(&mut self, now: Cycle, src: usize, dst: usize, bytes: u64, retry: bool, payload: M) {
+        self.send_delayed(now, src, dst, bytes, retry, 0, payload);
+    }
+
+    /// Like [`Network::send`], but the message arrives `extra` cycles
+    /// later than its natural time — the injection point for the schedule
+    /// explorer's NoC jitter and invalidation-delay perturbations.
+    ///
+    /// Delivery order between the same `(src, dst)` pair is preserved no
+    /// matter the delays (the coherence protocol relies on point-to-point
+    /// FIFO): a delayed message pushes the pair's arrival floor forward,
+    /// so later sends cannot overtake it.
+    pub fn send_delayed(
+        &mut self,
+        now: Cycle,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        retry: bool,
+        extra: Cycle,
+        payload: M,
+    ) {
         let ser = bytes.div_ceil(self.link_bytes_per_cycle).max(1);
         let mut t = now;
         let route = self.mesh.route(src, dst);
@@ -218,6 +244,13 @@ impl<M> Network<M> {
             self.link_busy[link] = start + ser;
             t = start + self.hop_cycles;
         }
+        t += extra;
+        // FIFO clamp: never arrive before an earlier same-pair message.
+        // (Unperturbed arrivals are already monotone per pair, so this is
+        // a no-op when `extra` is 0 everywhere.)
+        let floor = self.pair_floor.entry((src, dst)).or_insert(0);
+        t = t.max(*floor);
+        *floor = t;
         self.traffic.messages += 1;
         if retry {
             self.traffic.retry_bytes += weighted_bytes;
@@ -373,5 +406,61 @@ mod tests {
     #[should_panic(expected = "mesh too small")]
     fn mesh_too_small_panics() {
         let _ = Mesh::new(2, 2, 5);
+    }
+
+    #[test]
+    fn delayed_send_adds_latency() {
+        let mut n = net();
+        n.send_delayed(0, 0, 7, 8, false, 13, 1);
+        let hops = n.mesh().hops(0, 7);
+        assert_eq!(n.next_arrival(), Some(hops * 5 + 13));
+    }
+
+    #[test]
+    fn delayed_send_preserves_pair_fifo() {
+        let mut n = net();
+        // First message massively delayed, second not: the second must
+        // still arrive after (or with) the first, in injection order.
+        n.send_delayed(0, 0, 2, 8, false, 500, 1);
+        n.send_delayed(0, 0, 2, 8, false, 0, 2);
+        let a1 = n.next_arrival().unwrap();
+        assert_eq!(n.pop_arrival(a1), Some((2, 1)));
+        let a2 = n.next_arrival().unwrap();
+        assert!(a2 >= a1);
+        assert_eq!(n.pop_arrival(a2), Some((2, 2)));
+    }
+
+    #[test]
+    fn delay_on_one_pair_does_not_hold_up_other_pairs() {
+        let mut n = net();
+        n.send_delayed(0, 0, 2, 8, false, 500, 1);
+        n.send_delayed(0, 1, 2, 8, false, 0, 2);
+        // The undelayed 1->2 message arrives first.
+        let (node, id) = {
+            let a = n.next_arrival().unwrap();
+            n.pop_arrival(a).unwrap()
+        };
+        assert_eq!((node, id), (2, 2));
+    }
+
+    #[test]
+    fn zero_extra_matches_plain_send() {
+        let mut a = net();
+        let mut b = net();
+        for (s, d) in [(0, 7), (1, 3), (0, 7), (4, 4)] {
+            a.send(3, s, d, 16, false, 1);
+            b.send_delayed(3, s, d, 16, false, 0, 1);
+        }
+        let mut arrivals_a = Vec::new();
+        let mut arrivals_b = Vec::new();
+        while let Some(t) = a.next_arrival() {
+            arrivals_a.push(t);
+            a.pop_arrival(t);
+        }
+        while let Some(t) = b.next_arrival() {
+            arrivals_b.push(t);
+            b.pop_arrival(t);
+        }
+        assert_eq!(arrivals_a, arrivals_b);
     }
 }

@@ -1,43 +1,70 @@
 //! Property tests of the mesh: routing correctness and delivery-order
 //! invariants on arbitrary geometries.
+//!
+//! Runs on the in-repo property harness (`asymfence_common::prop`):
+//! failing case seeds persist to `tests/regressions/prop_noc.seeds` and
+//! replay before fresh cases. `ASF_PROP_CASES` / `ASF_PROP_SEED`
+//! override the budget and base seed.
 
-use proptest::prelude::*;
-
+use asymfence_common::prop::{check, pairs, triples, u64s, usizes, vecs, Config};
 use asymfence_noc::{Mesh, Network};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn prop_cfg(cases: u32) -> Config {
+    Config::from_env(cases).regressions("tests/regressions/prop_noc.seeds")
+}
 
-    /// Route length always equals the Manhattan distance, on any mesh.
-    #[test]
-    fn route_length_is_manhattan(
-        cols in 1usize..7,
-        rows in 1usize..7,
-        pairs in prop::collection::vec((0usize..36, 0usize..36), 1..16)
-    ) {
-        let nodes = cols * rows;
-        let mesh = Mesh::new(cols, rows, nodes);
-        for (s, d) in pairs {
+/// Route length always equals the Manhattan distance, on any mesh.
+#[test]
+fn route_length_is_manhattan() {
+    let gen = triples(
+        usizes(1, 6),
+        usizes(1, 6),
+        vecs(pairs(usizes(0, 35), usizes(0, 35)), 1, 16),
+    );
+    check(
+        "route_length_is_manhattan",
+        &prop_cfg(48),
+        &gen,
+        |(cols, rows, endpoint_pairs)| {
+            let nodes = cols * rows;
+            let mesh = Mesh::new(*cols, *rows, nodes);
+            for (s, d) in endpoint_pairs {
+                let (s, d) = (s % nodes, d % nodes);
+                if mesh.route(s, d).len() as u64 != mesh.hops(s, d) {
+                    return Err(format!("route {s}->{d} length != hops"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Symmetry: distance is the same in both directions.
+#[test]
+fn hops_are_symmetric() {
+    let gen = pairs(pairs(usizes(1, 6), usizes(1, 6)), pairs(usizes(0, 35), usizes(0, 35)));
+    check(
+        "hops_are_symmetric",
+        &prop_cfg(48),
+        &gen,
+        |((cols, rows), (s, d))| {
+            let nodes = cols * rows;
+            let mesh = Mesh::new(*cols, *rows, nodes);
             let (s, d) = (s % nodes, d % nodes);
-            prop_assert_eq!(mesh.route(s, d).len() as u64, mesh.hops(s, d));
-        }
-    }
+            if mesh.hops(s, d) != mesh.hops(d, s) {
+                return Err(format!("asymmetric hops {s}<->{d}"));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Symmetry: distance is the same in both directions.
-    #[test]
-    fn hops_are_symmetric(cols in 1usize..7, rows in 1usize..7, s in 0usize..36, d in 0usize..36) {
-        let nodes = cols * rows;
-        let mesh = Mesh::new(cols, rows, nodes);
-        let (s, d) = (s % nodes, d % nodes);
-        prop_assert_eq!(mesh.hops(s, d), mesh.hops(d, s));
-    }
-
-    /// Per source-destination pair, messages are delivered in send order
-    /// (the protocol relies on this point-to-point FIFO property).
-    #[test]
-    fn point_to_point_fifo(
-        sends in prop::collection::vec((0usize..9, 0usize..9, 1u64..128), 2..24)
-    ) {
+/// Per source-destination pair, messages are delivered in send order
+/// (the protocol relies on this point-to-point FIFO property).
+#[test]
+fn point_to_point_fifo() {
+    let gen = vecs(triples(usizes(0, 8), usizes(0, 8), u64s(1, 127)), 2, 24);
+    check("point_to_point_fifo", &prop_cfg(48), &gen, |sends| {
         let mesh = Mesh::new(3, 3, 9);
         let mut net: Network<usize> = Network::new(mesh, 5, 32);
         for (i, (s, d, bytes)) in sends.iter().enumerate() {
@@ -50,33 +77,49 @@ proptest! {
                 arrived.push((node, id));
             }
             t += 1;
-            prop_assert!(t < 1_000_000);
+            if t >= 1_000_000 {
+                return Err("network must drain".into());
+            }
         }
-        prop_assert_eq!(arrived.len(), sends.len());
+        if arrived.len() != sends.len() {
+            return Err(format!("{} arrivals for {} sends", arrived.len(), sends.len()));
+        }
         for (i, (s1, d1, _)) in sends.iter().enumerate() {
             for (j, (s2, d2, _)) in sends.iter().enumerate().skip(i + 1) {
                 if (s1, d1) == (s2, d2) {
                     let pi = arrived.iter().position(|&(_, id)| id == i).unwrap();
                     let pj = arrived.iter().position(|&(_, id)| id == j).unwrap();
-                    prop_assert!(pi < pj, "messages {i} and {j} reordered on {s1}->{d1}");
+                    if pi >= pj {
+                        return Err(format!("messages {i} and {j} reordered on {s1}->{d1}"));
+                    }
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Traffic accounting equals the sum of bytes x hops (min 1).
-    #[test]
-    fn traffic_is_bytes_times_hops(
-        sends in prop::collection::vec((0usize..9, 0usize..9, 1u64..64), 1..12)
-    ) {
+/// Traffic accounting equals the sum of bytes x hops (min 1).
+#[test]
+fn traffic_is_bytes_times_hops() {
+    let gen = vecs(triples(usizes(0, 8), usizes(0, 8), u64s(1, 63)), 1, 12);
+    check("traffic_is_bytes_times_hops", &prop_cfg(48), &gen, |sends| {
         let mesh = Mesh::new(3, 3, 9);
         let mut net: Network<u8> = Network::new(mesh, 5, 32);
         let mut expect = 0u64;
-        for (s, d, bytes) in &sends {
+        for (s, d, bytes) in sends {
             net.send(0, *s, *d, *bytes, false, 0);
             expect += bytes * mesh.hops(*s, *d).max(1);
         }
-        prop_assert_eq!(net.traffic().base_bytes, expect);
-        prop_assert_eq!(net.traffic().messages, sends.len() as u64);
-    }
+        if net.traffic().base_bytes != expect {
+            return Err(format!(
+                "traffic {} != expected {expect}",
+                net.traffic().base_bytes
+            ));
+        }
+        if net.traffic().messages != sends.len() as u64 {
+            return Err("message count mismatch".into());
+        }
+        Ok(())
+    });
 }
