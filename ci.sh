@@ -15,8 +15,27 @@ if [ "$QUICK" != "quick" ]; then
   cargo build --release --offline --workspace
 fi
 
+echo "== clippy (workspace, -D warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "== test (workspace, offline) =="
 cargo test -q --offline --workspace
+
+echo "== parallel harness smoke (jobs=2 == jobs=1, byte-for-byte) =="
+# The run engine must produce identical stdout and CSVs at any worker
+# count; run the full quick grid serially and with two workers and diff.
+if [ "$QUICK" != "quick" ]; then
+  SMOKE="$(mktemp -d)"
+  trap 'rm -rf "$SMOKE"' EXIT
+  for jobs in 1 2; do
+    mkdir -p "$SMOKE/j$jobs"
+    ( cd "$SMOKE/j$jobs" && \
+      ASF_QUICK=1 ASF_JOBS=$jobs ASF_PROGRESS=0 \
+        "$OLDPWD/target/release/all_experiments" > stdout.txt )
+  done
+  diff -u "$SMOKE/j1/stdout.txt" "$SMOKE/j2/stdout.txt"
+  diff -r "$SMOKE/j1/results" "$SMOKE/j2/results"
+fi
 
 echo "== explorer smoke sweep =="
 # Known-bad must be caught (exit 1 from the sweep is the expected result)...
@@ -25,9 +44,10 @@ if cargo run -q --release --offline -p asymfence-explore --bin explore -- \
   echo "FATAL: unfenced store-buffering passed the sweep" >&2
   exit 1
 fi
-# ...and known-good must sweep clean under every design.
+# ...and known-good must sweep clean under every design (with the
+# parallel seed sweep exercised).
 cargo run -q --release --offline -p asymfence-explore --bin explore -- \
-  --scenario sb-fenced --design all --seeds 256
+  --scenario sb-fenced --design all --seeds 256 --jobs 2
 cargo run -q --release --offline -p asymfence-explore --bin explore -- \
   --scenario 3cycle --design all --seeds 64
 

@@ -2,12 +2,18 @@
 //! exercises every figure's code path quickly. The real figure
 //! regeneration lives in the `src/bin/*` harness binaries. Runs on the
 //! in-repo timing harness; `ASF_BENCH_ITERS` overrides the budget.
+//!
+//! The final section times one spec grid through the run engine at 1 and
+//! 4 workers — the in-repo measurement of the engine's parallel speedup
+//! (~1x on a single-core host, approaching the worker count on real
+//! multicore machines; the outputs are byte-identical either way).
 
 use std::hint::black_box;
+use std::time::Instant;
 
 use asymfence::prelude::FenceDesign;
 use asymfence_bench::timing::{iters_from_env, Report};
-use asymfence_bench::{run_cilk, run_stamp, run_ustm};
+use asymfence_bench::{RunSpec, Runner, SEED};
 use asymfence_workloads::cilk::CilkApp;
 use asymfence_workloads::stamp::StampApp;
 use asymfence_workloads::ustm::UstmBench;
@@ -17,22 +23,53 @@ fn main() {
     let mut report = Report::new();
 
     for design in [FenceDesign::SPlus, FenceDesign::WsPlus, FenceDesign::WPlus] {
+        let spec = RunSpec::cilk(CilkApp::Fib, design, 4, 1);
         report.bench(&format!("fig08_fib_4core/{}", design.label()), iters, || {
-            black_box(run_cilk(CilkApp::Fib, design, 4, 1).cycles)
+            black_box(spec.execute().cycles)
         });
     }
 
     for design in [FenceDesign::SPlus, FenceDesign::WPlus, FenceDesign::Wee] {
+        let spec = RunSpec::ustm(UstmBench::Hash, design, 4, 1, 100_000);
         report.bench(&format!("fig09_hash_4core_100k/{}", design.label()), iters, || {
-            black_box(run_ustm(UstmBench::Hash, design, 4, 1, 100_000).commits)
+            black_box(spec.execute().commits)
         });
     }
 
     for design in [FenceDesign::SPlus, FenceDesign::WPlus] {
+        let spec = RunSpec::stamp(StampApp::Ssca2, design, 2, 1);
         report.bench(&format!("fig11_ssca2_2core/{}", design.label()), iters, || {
-            black_box(run_stamp(StampApp::Ssca2, design, 2, 1).cycles)
+            black_box(spec.execute().cycles)
         });
     }
+
+    // Runner speedup: the same 12-spec grid, serial vs 4 workers.
+    let grid: Vec<RunSpec> = [FenceDesign::SPlus, FenceDesign::WsPlus, FenceDesign::WPlus]
+        .into_iter()
+        .flat_map(|d| {
+            [
+                RunSpec::cilk(CilkApp::Fib, d, 4, SEED),
+                RunSpec::cilk(CilkApp::Bucket, d, 4, SEED),
+                RunSpec::ustm(UstmBench::Hash, d, 4, SEED, 100_000),
+                RunSpec::ustm(UstmBench::Tree, d, 4, SEED, 100_000),
+            ]
+        })
+        .collect();
+    let mut wall = Vec::new();
+    for jobs in [1usize, 4] {
+        let runner = Runner::with_jobs(jobs).progress(false);
+        report.bench(&format!("runner_grid12_jobs{jobs}"), iters, || {
+            black_box(runner.run(&grid).len())
+        });
+        let t0 = Instant::now();
+        black_box(runner.run(&grid).len());
+        wall.push(t0.elapsed().as_secs_f64());
+    }
+    println!(
+        "runner grid speedup jobs=4 vs jobs=1: {:.2}x (host has {} cores)",
+        wall[0] / wall[1].max(1e-9),
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
 
     println!("\n{}", report.to_markdown());
 }

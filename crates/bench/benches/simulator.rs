@@ -8,7 +8,8 @@ use std::hint::black_box;
 
 use asymfence::prelude::*;
 use asymfence_bench::timing::{iters_from_env, Report};
-use asymfence_workloads::cilk::{self, CilkApp};
+use asymfence_bench::RunSpec;
+use asymfence_workloads::cilk::CilkApp;
 
 fn main() {
     let iters = iters_from_env(10);
@@ -26,17 +27,9 @@ fn main() {
     }
 
     for design in [FenceDesign::SPlus, FenceDesign::WsPlus] {
+        let spec = RunSpec::cilk(CilkApp::Fib, design, 2, 1);
         report.bench(&format!("simulate_fib_2core/{}", design.label()), iters, || {
-            let cfg = MachineConfig::builder()
-                .cores(2)
-                .fence_design(design)
-                .build();
-            let mut m = Machine::new(&cfg);
-            for p in cilk::programs(CilkApp::Fib, &cfg, 1) {
-                m.add_thread(p);
-            }
-            assert_eq!(m.run(1_000_000_000), RunOutcome::Finished);
-            black_box(m.now())
+            black_box(spec.execute().cycles)
         });
     }
 

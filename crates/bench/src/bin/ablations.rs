@@ -1,125 +1,12 @@
-//! Ablation sweeps beyond the paper (indexed in EXPERIMENTS.md):
-//! Bypass-Set capacity, bounce-retry backoff, the W+ timeout, and mesh
-//! hop latency.
+//! Ablation sweeps beyond the paper.
+//!
+//! Thin wrapper over [`asymfence_bench::figures::ablations`]; all flag
+//! handling lives in [`asymfence_bench::cli`] and all simulation in the
+//! shared run engine ([`asymfence_bench::runner`]).
 
-use asymfence::prelude::*;
-use asymfence_bench::{f2, Table, SEED};
-use asymfence_workloads::cilk::{self, CilkApp};
-use asymfence_workloads::ustm::{self, UstmBench};
-use asymfence_workloads::tlrw;
-
-fn cilk_cycles(mut cfg: MachineConfig) -> u64 {
-    cfg.seed = SEED;
-    let mut m = Machine::new(&cfg);
-    cilk::setup(&mut m, CilkApp::Fib, SEED);
-    assert_eq!(m.run(4_000_000_000), RunOutcome::Finished);
-    m.now()
-}
-
-fn ustm_commits(mut cfg: MachineConfig, window: u64) -> (u64, u64) {
-    cfg.seed = SEED;
-    let mut m = Machine::new(&cfg);
-    ustm::install(&mut m, UstmBench::Hash, SEED, None);
-    m.run(window);
-    let (c, _) = tlrw::tally(&m);
-    (c, m.stats().aggregate().recoveries)
-}
+use asymfence_bench::{cli, figures, ReportSink};
 
 fn main() {
-    println!("# Ablations\n");
-
-    println!("## A0: WS+ vs SW+ (paper §6: \"practically the same\" on two-fence groups)");
-    let mut t = Table::new(vec!["bench", "WS+ commits", "SW+ commits", "SW+/WS+"]);
-    for bench in [UstmBench::Hash, UstmBench::Tree, UstmBench::ReadNWrite1] {
-        let run = |design| {
-            let cfg = MachineConfig::builder()
-                .cores(8)
-                .fence_design(design)
-                .build();
-            let mut m = Machine::new(&cfg);
-            ustm::install(&mut m, bench, SEED, None);
-            m.run(400_000);
-            tlrw::tally(&m).0
-        };
-        let ws = run(FenceDesign::WsPlus);
-        let sw = run(FenceDesign::SwPlus);
-        t.row(vec![
-            bench.name().to_string(),
-            ws.to_string(),
-            sw.to_string(),
-            f2(sw as f64 / ws.max(1) as f64),
-        ]);
-    }
-    t.emit("ablation_ws_vs_sw");
-
-    println!("## A1: Bypass-Set capacity (WS+, fib) — overflow degrades wf to sf");
-    let mut t = Table::new(vec!["bs_entries", "cycles", "norm"]);
-    let base = cilk_cycles(
-        MachineConfig::builder().cores(8).fence_design(FenceDesign::WsPlus).build(),
-    );
-    for bs in [1usize, 2, 4, 8, 32] {
-        let c = cilk_cycles(
-            MachineConfig::builder()
-                .cores(8)
-                .fence_design(FenceDesign::WsPlus)
-                .bs_entries(bs)
-                .build(),
-        );
-        t.row(vec![bs.to_string(), c.to_string(), f2(c as f64 / base as f64)]);
-    }
-    t.emit("ablation_bs_capacity");
-
-    println!("## A2: bounce-retry backoff (W+, ustm Hash)");
-    let mut t = Table::new(vec!["retry_cycles", "commits", "recoveries"]);
-    for retry in [4u64, 16, 64, 256] {
-        let (c, r) = ustm_commits(
-            MachineConfig::builder()
-                .cores(8)
-                .fence_design(FenceDesign::WPlus)
-                .bounce_retry_cycles(retry)
-                .build(),
-            400_000,
-        );
-        t.row(vec![retry.to_string(), c.to_string(), r.to_string()]);
-    }
-    t.emit("ablation_bounce_retry");
-
-    println!("## A3: W+ deadlock timeout (ustm Hash) — too short = spurious rollbacks");
-    let mut t = Table::new(vec!["timeout", "commits", "recoveries"]);
-    for timeout in [25u64, 100, 200, 800, 3200] {
-        let (c, r) = ustm_commits(
-            MachineConfig::builder()
-                .cores(8)
-                .fence_design(FenceDesign::WPlus)
-                .w_timeout_cycles(timeout)
-                .build(),
-            400_000,
-        );
-        t.row(vec![timeout.to_string(), c.to_string(), r.to_string()]);
-    }
-    t.emit("ablation_w_timeout");
-
-    println!("## A6: store-merge width (motivation, paper §2.1) — TSO merges one store at a time");
-    let mut t = Table::new(vec!["merge_width", "S+ fib cycles", "norm"]);
-    let base = cilk_cycles(
-        MachineConfig::builder().cores(8).wb_merge_width(1).build(),
-    );
-    for w in [1usize, 2, 4, 8] {
-        let c = cilk_cycles(MachineConfig::builder().cores(8).wb_merge_width(w).build());
-        t.row(vec![w.to_string(), c.to_string(), f2(c as f64 / base as f64)]);
-    }
-    t.emit("ablation_merge_width");
-
-    println!("## A4: mesh hop latency (S+ vs WS+, fib) — weak fences hide longer networks");
-    let mut t = Table::new(vec!["hop_cycles", "S+ cycles", "WS+ cycles", "WS+/S+"]);
-    for hop in [1u64, 5, 10, 20] {
-        let s = cilk_cycles(
-            MachineConfig::builder().cores(8).fence_design(FenceDesign::SPlus).hop_cycles(hop).build(),
-        );
-        let w = cilk_cycles(
-            MachineConfig::builder().cores(8).fence_design(FenceDesign::WsPlus).hop_cycles(hop).build(),
-        );
-        t.row(vec![hop.to_string(), s.to_string(), w.to_string(), f2(w as f64 / s as f64)]);
-    }
-    t.emit("ablation_hop_latency");
+    let (runner, opts) = cli::parse("ablations");
+    figures::ablations(&runner, &opts, &mut ReportSink::stdout());
 }

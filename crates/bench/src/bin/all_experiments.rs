@@ -1,31 +1,12 @@
-//! Runs every experiment binary's logic in sequence (figures 8-12,
-//! table 4, the litmus matrix and the ablations) by invoking the sibling
-//! binaries. Use `--quick` / ASF_QUICK=1 for a fast pass.
+//! Every experiment in sequence.
+//!
+//! Thin wrapper over [`asymfence_bench::figures::all`]; all flag
+//! handling lives in [`asymfence_bench::cli`] and all simulation in the
+//! shared run engine ([`asymfence_bench::runner`]).
 
-use std::process::Command;
+use asymfence_bench::{cli, figures, ReportSink};
 
 fn main() {
-    let quick = asymfence_bench::quick();
-    let bins = [
-        "litmus_matrix",
-        "fig08_cilk",
-        "fig09_ustm_throughput",
-        "fig10_ustm_breakdown",
-        "fig11_stamp",
-        "fig12_scalability",
-        "table4_characterization",
-        "ablations",
-    ];
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir");
-    for b in bins {
-        println!("\n===== {b} =====\n");
-        let mut cmd = Command::new(dir.join(b));
-        if quick {
-            cmd.arg("--quick").env("ASF_QUICK", "1");
-        }
-        let status = cmd.status().unwrap_or_else(|e| panic!("failed to run {b}: {e}"));
-        assert!(status.success(), "{b} failed");
-    }
-    println!("\nAll experiments complete; CSVs in ./results/");
+    let (runner, opts) = cli::parse("all_experiments");
+    figures::all(&runner, &opts, &mut ReportSink::stdout());
 }

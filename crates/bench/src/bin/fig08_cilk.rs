@@ -1,57 +1,12 @@
-//! Figure 8: execution time of CilkApps, normalized to S+, broken down
-//! into busy / other-stall / fence-stall time.
+//! Figure 8 — CilkApps execution-time breakdown.
+//!
+//! Thin wrapper over [`asymfence_bench::figures::fig08`]; all flag
+//! handling lives in [`asymfence_bench::cli`] and all simulation in the
+//! shared run engine ([`asymfence_bench::runner`]).
 
-use asymfence::prelude::FenceDesign;
-use asymfence_bench::{f2, mean, pct, run_cilk, Table, DESIGNS, SEED};
-use asymfence_workloads::cilk::CilkApp;
+use asymfence_bench::{cli, figures, ReportSink};
 
 fn main() {
-    let cores = 8;
-    println!("# Figure 8 — CilkApps execution time (normalized to S+), {cores} cores\n");
-    let mut t = Table::new(vec![
-        "app", "design", "cycles", "norm-time", "busy", "other-stall", "fence-stall",
-    ]);
-    let mut per_design_norm: Vec<Vec<f64>> = vec![Vec::new(); DESIGNS.len()];
-    let mut splus_fence_share = Vec::new();
-    let apps: &[CilkApp] = if asymfence_bench::quick() {
-        &[CilkApp::Fib, CilkApp::Bucket, CilkApp::Matmul]
-    } else {
-        &CilkApp::ALL
-    };
-    for &app in apps {
-        let base = run_cilk(app, FenceDesign::SPlus, cores, SEED);
-        splus_fence_share.push(base.breakdown().1);
-        for (di, &design) in DESIGNS.iter().enumerate() {
-            let r = if design == FenceDesign::SPlus {
-                base.clone()
-            } else {
-                run_cilk(app, design, cores, SEED)
-            };
-            let norm = r.cycles as f64 / base.cycles as f64;
-            per_design_norm[di].push(norm);
-            let (busy, fence, other) = r.breakdown();
-            t.row(vec![
-                app.name().to_string(),
-                design.label().to_string(),
-                r.cycles.to_string(),
-                f2(norm),
-                pct(busy),
-                pct(other),
-                pct(fence),
-            ]);
-        }
-    }
-    t.emit("fig08_cilk");
-    println!("## Averages");
-    println!(
-        "S+ fence-stall share of core time: {} (paper: ~13%)",
-        pct(mean(&splus_fence_share))
-    );
-    for (di, &design) in DESIGNS.iter().enumerate() {
-        println!(
-            "{:>4}: mean normalized execution time {} (paper: S+ 1.00, WS+/W+/Wee ~0.91)",
-            design.label(),
-            f2(mean(&per_design_norm[di]))
-        );
-    }
+    let (runner, opts) = cli::parse("fig08_cilk");
+    figures::fig08(&runner, &opts, &mut ReportSink::stdout());
 }

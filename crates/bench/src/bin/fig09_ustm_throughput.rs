@@ -1,51 +1,12 @@
-//! Figure 9: transactional throughput of the ustm microbenchmarks,
-//! normalized to S+ (higher is better).
+//! Figure 9 — ustm transactional throughput.
+//!
+//! Thin wrapper over [`asymfence_bench::figures::fig09`]; all flag
+//! handling lives in [`asymfence_bench::cli`] and all simulation in the
+//! shared run engine ([`asymfence_bench::runner`]).
 
-use asymfence::prelude::FenceDesign;
-use asymfence_bench::{f2, mean, run_ustm, Table, DESIGNS, SEED, USTM_WINDOW};
-use asymfence_workloads::ustm::UstmBench;
+use asymfence_bench::{cli, figures, ReportSink};
 
 fn main() {
-    let cores = 8;
-    let window = if asymfence_bench::quick() {
-        USTM_WINDOW / 4
-    } else {
-        USTM_WINDOW
-    };
-    println!("# Figure 9 — ustm transactional throughput (normalized to S+), {cores} cores, {window}-cycle window\n");
-    let mut t = Table::new(vec!["bench", "design", "commits", "aborts", "norm-throughput"]);
-    let mut per_design: Vec<Vec<f64>> = vec![Vec::new(); DESIGNS.len()];
-    let benches: &[UstmBench] = if asymfence_bench::quick() {
-        &[UstmBench::Counter, UstmBench::Hash, UstmBench::Tree]
-    } else {
-        &UstmBench::ALL
-    };
-    for &bench in benches {
-        let base = run_ustm(bench, FenceDesign::SPlus, cores, SEED, window);
-        for (di, &design) in DESIGNS.iter().enumerate() {
-            let r = if design == FenceDesign::SPlus {
-                base.clone()
-            } else {
-                run_ustm(bench, design, cores, SEED, window)
-            };
-            let norm = r.commits as f64 / base.commits.max(1) as f64;
-            per_design[di].push(norm);
-            t.row(vec![
-                bench.name().to_string(),
-                design.label().to_string(),
-                r.commits.to_string(),
-                r.aborts.to_string(),
-                f2(norm),
-            ]);
-        }
-    }
-    t.emit("fig09_ustm_throughput");
-    println!("## Averages (paper: WS+ +38%, W+ +58%, Wee +14% over S+)");
-    for (di, &design) in DESIGNS.iter().enumerate() {
-        println!(
-            "{:>4}: mean normalized throughput {}",
-            design.label(),
-            f2(mean(&per_design[di]))
-        );
-    }
+    let (runner, opts) = cli::parse("fig09_ustm_throughput");
+    figures::fig09(&runner, &opts, &mut ReportSink::stdout());
 }

@@ -1,70 +1,12 @@
-//! Figure 10: per-transaction breakdown of processor cycles for the ustm
-//! microbenchmarks (busy / other-stall / fence-stall), normalized to S+.
+//! Figure 10 — ustm per-transaction cycle breakdown.
+//!
+//! Thin wrapper over [`asymfence_bench::figures::fig10`]; all flag
+//! handling lives in [`asymfence_bench::cli`] and all simulation in the
+//! shared run engine ([`asymfence_bench::runner`]).
 
-use asymfence::prelude::FenceDesign;
-use asymfence_bench::{f2, mean, pct, run_ustm, Table, DESIGNS, SEED, USTM_WINDOW};
-use asymfence_workloads::ustm::UstmBench;
+use asymfence_bench::{cli, figures, ReportSink};
 
 fn main() {
-    let cores = 8;
-    let window = if asymfence_bench::quick() {
-        USTM_WINDOW / 4
-    } else {
-        USTM_WINDOW
-    };
-    println!("# Figure 10 — ustm per-transaction processor cycles (normalized to S+)\n");
-    let mut t = Table::new(vec![
-        "bench", "design", "cycles/txn", "norm", "busy", "other-stall", "fence-stall",
-    ]);
-    let mut per_design: Vec<Vec<f64>> = vec![Vec::new(); DESIGNS.len()];
-    let mut splus_fence_share = Vec::new();
-    let benches: &[UstmBench] = if asymfence_bench::quick() {
-        &[UstmBench::Counter, UstmBench::Hash, UstmBench::Tree]
-    } else {
-        &UstmBench::ALL
-    };
-    for &bench in benches {
-        let per_txn = |r: &asymfence_bench::RunResult| {
-            let a = r.stats.aggregate();
-            let active = a.busy_cycles + a.fence_stall_cycles + a.other_stall_cycles;
-            active as f64 / r.commits.max(1) as f64
-        };
-        let base = run_ustm(bench, FenceDesign::SPlus, cores, SEED, window);
-        let base_txn = per_txn(&base);
-        splus_fence_share.push(base.breakdown().1);
-        for (di, &design) in DESIGNS.iter().enumerate() {
-            let r = if design == FenceDesign::SPlus {
-                base.clone()
-            } else {
-                run_ustm(bench, design, cores, SEED, window)
-            };
-            let txn = per_txn(&r);
-            let norm = txn / base_txn;
-            per_design[di].push(norm);
-            let (busy, fence, other) = r.breakdown();
-            t.row(vec![
-                bench.name().to_string(),
-                design.label().to_string(),
-                f2(txn),
-                f2(norm),
-                pct(busy),
-                pct(other),
-                pct(fence),
-            ]);
-        }
-    }
-    t.emit("fig10_ustm_breakdown");
-    println!("## Averages");
-    println!(
-        "S+ fence-stall share: {} (paper: ~54%)",
-        pct(mean(&splus_fence_share))
-    );
-    println!("(paper: WS+ -24%, W+ -35%, Wee -11% cycles per transaction)");
-    for (di, &design) in DESIGNS.iter().enumerate() {
-        println!(
-            "{:>4}: mean normalized cycles/transaction {}",
-            design.label(),
-            f2(mean(&per_design[di]))
-        );
-    }
+    let (runner, opts) = cli::parse("fig10_ustm_breakdown");
+    figures::fig10(&runner, &opts, &mut ReportSink::stdout());
 }

@@ -1,54 +1,12 @@
-//! Figure 11: STAMP execution time, normalized to S+, with the cycle
-//! breakdown.
+//! Figure 11 — STAMP execution time.
+//!
+//! Thin wrapper over [`asymfence_bench::figures::fig11`]; all flag
+//! handling lives in [`asymfence_bench::cli`] and all simulation in the
+//! shared run engine ([`asymfence_bench::runner`]).
 
-use asymfence::prelude::FenceDesign;
-use asymfence_bench::{f2, mean, pct, run_stamp, Table, DESIGNS, SEED};
-use asymfence_workloads::stamp::StampApp;
+use asymfence_bench::{cli, figures, ReportSink};
 
 fn main() {
-    let cores = 8;
-    println!("# Figure 11 — STAMP execution time (normalized to S+), {cores} cores\n");
-    let mut t = Table::new(vec![
-        "app", "design", "cycles", "norm-time", "busy", "other-stall", "fence-stall",
-    ]);
-    let mut per_design: Vec<Vec<f64>> = vec![Vec::new(); DESIGNS.len()];
-    let mut splus_fence_share = Vec::new();
-    let apps: &[StampApp] = if asymfence_bench::quick() {
-        &[StampApp::Intruder, StampApp::Ssca2]
-    } else {
-        &StampApp::ALL
-    };
-    for &app in apps {
-        let base = run_stamp(app, FenceDesign::SPlus, cores, SEED);
-        splus_fence_share.push(base.breakdown().1);
-        for (di, &design) in DESIGNS.iter().enumerate() {
-            let r = if design == FenceDesign::SPlus {
-                base.clone()
-            } else {
-                run_stamp(app, design, cores, SEED)
-            };
-            let norm = r.cycles as f64 / base.cycles as f64;
-            per_design[di].push(norm);
-            let (busy, fence, other) = r.breakdown();
-            t.row(vec![
-                app.name().to_string(),
-                design.label().to_string(),
-                r.cycles.to_string(),
-                f2(norm),
-                pct(busy),
-                pct(other),
-                pct(fence),
-            ]);
-        }
-    }
-    t.emit("fig11_stamp");
-    println!("## Averages (paper: WS+ -7%, W+ -19%, Wee -11%; S+ fence stall ~13%)");
-    println!("S+ fence-stall share: {}", pct(mean(&splus_fence_share)));
-    for (di, &design) in DESIGNS.iter().enumerate() {
-        println!(
-            "{:>4}: mean normalized execution time {}",
-            design.label(),
-            f2(mean(&per_design[di]))
-        );
-    }
+    let (runner, opts) = cli::parse("fig11_stamp");
+    figures::fig11(&runner, &opts, &mut ReportSink::stdout());
 }

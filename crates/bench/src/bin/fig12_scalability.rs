@@ -1,79 +1,12 @@
-//! Figure 12: scalability of the fence-stall reduction. For each
-//! workload group and design, the total fence-stall time relative to S+
-//! at 4, 8, 16 and 32 cores. Flat bars = the design scales.
+//! Figure 12 — fence-stall ratio at 4..32 cores.
+//!
+//! Thin wrapper over [`asymfence_bench::figures::fig12`]; all flag
+//! handling lives in [`asymfence_bench::cli`] and all simulation in the
+//! shared run engine ([`asymfence_bench::runner`]).
 
-use asymfence::prelude::FenceDesign;
-use asymfence_bench::{pct, run_cilk, run_stamp, run_ustm, Table, SEED, USTM_WINDOW};
-use asymfence_workloads::cilk::CilkApp;
-use asymfence_workloads::stamp::StampApp;
-use asymfence_workloads::ustm::UstmBench;
+use asymfence_bench::{cli, figures, ReportSink};
 
 fn main() {
-    let core_counts: &[usize] = if asymfence_bench::quick() {
-        &[4, 8]
-    } else {
-        &[4, 8, 16, 32]
-    };
-    let designs = [FenceDesign::WsPlus, FenceDesign::WPlus, FenceDesign::Wee];
-    println!("# Figure 12 — fence-stall time relative to S+ at 4..32 cores\n");
-    println!("(representative workloads per group: fib+cholesky / Hash+Tree / intruder)\n");
-    let mut t = Table::new(vec!["group", "design", "cores", "stall-ratio"]);
-
-    for &design in &designs {
-        for &cores in core_counts {
-            // CilkApps group.
-            let mut s_stall = 0.0;
-            let mut d_stall = 0.0;
-            for app in [CilkApp::Fib, CilkApp::Cholesky] {
-                s_stall += run_cilk(app, FenceDesign::SPlus, cores, SEED)
-                    .stats
-                    .fence_stall_cycles() as f64;
-                d_stall += run_cilk(app, design, cores, SEED).stats.fence_stall_cycles() as f64;
-            }
-            t.row(vec![
-                "CilkApps".to_string(),
-                design.label().to_string(),
-                cores.to_string(),
-                pct(d_stall / s_stall.max(1.0)),
-            ]);
-        }
-    }
-    for &design in &designs {
-        for &cores in core_counts {
-            let mut s_stall = 0.0;
-            let mut d_stall = 0.0;
-            for bench in [UstmBench::Hash, UstmBench::Tree] {
-                s_stall += run_ustm(bench, FenceDesign::SPlus, cores, SEED, USTM_WINDOW / 3)
-                    .stats
-                    .fence_stall_cycles() as f64;
-                d_stall += run_ustm(bench, design, cores, SEED, USTM_WINDOW / 3)
-                    .stats
-                    .fence_stall_cycles() as f64;
-            }
-            t.row(vec![
-                "ustm".to_string(),
-                design.label().to_string(),
-                cores.to_string(),
-                pct(d_stall / s_stall.max(1.0)),
-            ]);
-        }
-    }
-    for &design in &designs {
-        for &cores in core_counts {
-            let s = run_stamp(StampApp::Intruder, FenceDesign::SPlus, cores, SEED)
-                .stats
-                .fence_stall_cycles() as f64;
-            let d = run_stamp(StampApp::Intruder, design, cores, SEED)
-                .stats
-                .fence_stall_cycles() as f64;
-            t.row(vec![
-                "STAMP".to_string(),
-                design.label().to_string(),
-                cores.to_string(),
-                pct(d / s.max(1.0)),
-            ]);
-        }
-    }
-    t.emit("fig12_scalability");
-    println!("(paper: ratios stay flat or grow only modestly from 4 to 32 cores)");
+    let (runner, opts) = cli::parse("fig12_scalability");
+    figures::fig12(&runner, &opts, &mut ReportSink::stdout());
 }

@@ -1,59 +1,12 @@
-//! Figures 1, 3 and 4 as a litmus matrix: SCV scenarios, fence groups of
-//! two and three threads, false sharing, and the unprotected-deadlock
-//! demonstration — each verified with the Shasha–Snir checker.
+//! Litmus matrix — figures 1d/1f/3a/3c/4b.
+//!
+//! Thin wrapper over [`asymfence_bench::figures::litmus_matrix`]; all flag
+//! handling lives in [`asymfence_bench::cli`] and all simulation in the
+//! shared run engine ([`asymfence_bench::runner`]).
 
-use asymfence::prelude::*;
-use asymfence_bench::Table;
-use asymfence_workloads::litmus;
-
-fn run_case(design: FenceDesign, setup: litmus::LitmusSetup) -> (RunOutcome, bool) {
-    let (progs, _regs) = setup;
-    let cfg = MachineConfig::builder()
-        .cores(progs.len().max(2))
-        .fence_design(design)
-        .watchdog_cycles(30_000)
-        .record_scv_log(true)
-        .build();
-    let mut m = Machine::new(&cfg);
-    for p in progs {
-        m.add_thread(p);
-    }
-    let outcome = m.run(50_000_000);
-    let scv = m.scv_log().map(scv::has_violation).unwrap_or(false);
-    (outcome, scv)
-}
+use asymfence_bench::{cli, figures, ReportSink};
 
 fn main() {
-    use FenceRole::{Critical, NonCritical};
-    println!("# Litmus matrix — figures 1d/1f/3a/3c/4b\n");
-    let mut t = Table::new(vec!["scenario", "design", "outcome", "SCV?"]);
-    let all = [
-        FenceDesign::SPlus,
-        FenceDesign::WsPlus,
-        FenceDesign::SwPlus,
-        FenceDesign::WPlus,
-        FenceDesign::Wee,
-    ];
-    // Unfenced store buffering: the SCV the fences exist to prevent.
-    let (o, scv) = run_case(FenceDesign::SPlus, litmus::store_buffering(None));
-    t.row(vec!["SB unfenced".into(), "-".into(), format!("{o:?}"), scv.to_string()]);
-    for d in all {
-        let (o, scv) = run_case(d, litmus::store_buffering(Some((Critical, NonCritical))));
-        t.row(vec!["SB fig1d".into(), d.label().into(), format!("{o:?}"), scv.to_string()]);
-    }
-    for d in [FenceDesign::WsPlus, FenceDesign::SwPlus] {
-        let (o, scv) = run_case(d, litmus::three_thread_cycle([Critical, NonCritical, NonCritical]));
-        t.row(vec!["3-thread fig3c".into(), d.label().into(), format!("{o:?}"), scv.to_string()]);
-    }
-    let (o, scv) = run_case(FenceDesign::WPlus, litmus::three_thread_cycle([Critical; 3]));
-    t.row(vec!["3-thread all-wf".into(), "W+".into(), format!("{o:?}"), scv.to_string()]);
-    for d in [FenceDesign::WsPlus, FenceDesign::SwPlus, FenceDesign::WPlus] {
-        let (o, scv) = run_case(d, litmus::false_sharing_pair(Critical, Critical));
-        t.row(vec!["false-share fig4b".into(), d.label().into(), format!("{o:?}"), scv.to_string()]);
-    }
-    let (o, scv) = run_case(FenceDesign::WfOnlyUnsafe, litmus::false_sharing_pair(Critical, Critical));
-    t.row(vec!["fig3a unprotected".into(), "wf-only".into(), format!("{o:?}"), scv.to_string()]);
-    t.emit("litmus_matrix");
-    println!("(expected: unfenced SB shows an SCV; every protected design finishes with none;");
-    println!(" the unprotected wf-only design deadlocks, as in Figure 3a)");
+    let (runner, opts) = cli::parse("litmus_matrix");
+    figures::litmus_matrix(&runner, &opts, &mut ReportSink::stdout());
 }

@@ -1,145 +1,12 @@
-//! Table 4: characterization of the fence designs at 8 cores —
-//! fences per kilo-instruction, Bypass-Set occupancy, bounces and
-//! retries, retry-traffic increase, W+ recoveries, Wee demotions.
+//! Table 4 — characterization of the fence designs.
+//!
+//! Thin wrapper over [`asymfence_bench::figures::table4`]; all flag
+//! handling lives in [`asymfence_bench::cli`] and all simulation in the
+//! shared run engine ([`asymfence_bench::runner`]).
 
-use asymfence::prelude::FenceDesign;
-use asymfence_bench::{f2, run_cilk, run_stamp, run_ustm, RunResult, Table, SEED, USTM_WINDOW};
-use asymfence_workloads::cilk::CilkApp;
-use asymfence_workloads::stamp::StampApp;
-use asymfence_workloads::ustm::UstmBench;
-
-fn collect(group: &str, runs: &[(FenceDesign, RunResult)], t: &mut Table) {
-    for (design, r) in runs {
-        let a = r.stats.aggregate();
-        let ki = a.instrs_retired.max(1) as f64 / 1000.0;
-        let wf = a.wf_count.max(1) as f64;
-        t.row(vec![
-            group.to_string(),
-            design.label().to_string(),
-            f2(a.sf_count as f64 / ki),
-            f2(a.wf_count as f64 / ki),
-            f2(a.avg_bs_lines()),
-            f2(a.writes_bounced as f64 / wf),
-            f2(a.bounce_retries as f64 / a.writes_bounced.max(1) as f64),
-            f2(r.stats.traffic.retry_increase_pct()),
-            f2(a.recoveries as f64 / wf),
-            a.wee_demotions.to_string(),
-        ]);
-    }
-}
+use asymfence_bench::{cli, figures, ReportSink};
 
 fn main() {
-    let cores = 8;
-    let quick = asymfence_bench::quick();
-    println!("# Table 4 — characterization of S+/WS+/W+/Wee at {cores} cores\n");
-    let mut t = Table::new(vec![
-        "group",
-        "design",
-        "sf/1000i",
-        "wf/1000i",
-        "lines/BS",
-        "wr-bounced/wf",
-        "retries/wr",
-        "%traffic",
-        "recov/wf",
-        "wee-demotions",
-    ]);
-    let designs = [
-        FenceDesign::SPlus,
-        FenceDesign::WsPlus,
-        FenceDesign::WPlus,
-        FenceDesign::Wee,
-    ];
-
-    // CilkApps: aggregate over a representative subset.
-    let cilk_apps: &[CilkApp] = if quick {
-        &[CilkApp::Fib]
-    } else {
-        &[CilkApp::Fib, CilkApp::Cholesky, CilkApp::Matmul]
-    };
-    let runs: Vec<(FenceDesign, RunResult)> = designs
-        .iter()
-        .map(|&d| {
-            let mut merged: Option<RunResult> = None;
-            for &app in cilk_apps {
-                let r = run_cilk(app, d, cores, SEED);
-                merged = Some(match merged {
-                    None => r,
-                    Some(mut acc) => {
-                        acc.cycles += r.cycles;
-                        for (a, b) in acc.stats.cores.iter_mut().zip(&r.stats.cores) {
-                            *a += b;
-                        }
-                        acc.stats.traffic.base_bytes += r.stats.traffic.base_bytes;
-                        acc.stats.traffic.retry_bytes += r.stats.traffic.retry_bytes;
-                        acc
-                    }
-                });
-            }
-            (d, merged.expect("apps nonempty"))
-        })
-        .collect();
-    collect("CilkApps", &runs, &mut t);
-
-    let ustm_benches: &[UstmBench] = if quick {
-        &[UstmBench::Hash]
-    } else {
-        &[UstmBench::Hash, UstmBench::Tree, UstmBench::List]
-    };
-    let runs: Vec<(FenceDesign, RunResult)> = designs
-        .iter()
-        .map(|&d| {
-            let mut merged: Option<RunResult> = None;
-            for &b in ustm_benches {
-                let r = run_ustm(b, d, cores, SEED, USTM_WINDOW / 3);
-                merged = Some(match merged {
-                    None => r,
-                    Some(mut acc) => {
-                        acc.commits += r.commits;
-                        for (a, b) in acc.stats.cores.iter_mut().zip(&r.stats.cores) {
-                            *a += b;
-                        }
-                        acc.stats.traffic.base_bytes += r.stats.traffic.base_bytes;
-                        acc.stats.traffic.retry_bytes += r.stats.traffic.retry_bytes;
-                        acc
-                    }
-                });
-            }
-            (d, merged.expect("benches nonempty"))
-        })
-        .collect();
-    collect("ustm", &runs, &mut t);
-
-    let stamp_apps: &[StampApp] = if quick {
-        &[StampApp::Ssca2]
-    } else {
-        &[StampApp::Intruder, StampApp::Vacation]
-    };
-    let runs: Vec<(FenceDesign, RunResult)> = designs
-        .iter()
-        .map(|&d| {
-            let mut merged: Option<RunResult> = None;
-            for &app in stamp_apps {
-                let r = run_stamp(app, d, cores, SEED);
-                merged = Some(match merged {
-                    None => r,
-                    Some(mut acc) => {
-                        for (a, b) in acc.stats.cores.iter_mut().zip(&r.stats.cores) {
-                            *a += b;
-                        }
-                        acc.stats.traffic.base_bytes += r.stats.traffic.base_bytes;
-                        acc.stats.traffic.retry_bytes += r.stats.traffic.retry_bytes;
-                        acc
-                    }
-                });
-            }
-            (d, merged.expect("apps nonempty"))
-        })
-        .collect();
-    collect("STAMP", &runs, &mut t);
-
-    t.emit("table4_characterization");
-    println!("(paper: ~1 sf/1000i for CilkApps and STAMP, ~5.7 for ustm under S+;");
-    println!(" 3-5 lines per BS; low bounce counts; negligible traffic increase;");
-    println!(" Wee demotes about half of ustm and a third of STAMP fences)");
+    let (runner, opts) = cli::parse("table4_characterization");
+    figures::table4(&runner, &opts, &mut ReportSink::stdout());
 }

@@ -1,8 +1,20 @@
 //! Experiment harness regenerating the paper's evaluation.
 //!
-//! One binary per table/figure (see `src/bin/`); this library holds the
-//! shared runners and reporting helpers. Every run is deterministic for
-//! a given seed. Results are printed as markdown tables and also written
+//! The harness is layered:
+//!
+//! 1. [`runner`] — the unified run engine: a [`RunSpec`] describes one
+//!    deterministic simulation as plain data and a [`Runner`] executes
+//!    batches over a worker pool (`--jobs` / `ASF_JOBS`) with
+//!    order-preserving aggregation.
+//! 2. [`figures`] — every figure/table as a library function: build a
+//!    spec grid, run it, format into a [`ReportSink`].
+//! 3. [`report`] — markdown/CSV tables and the sink the figures emit to.
+//! 4. [`cli`] — the shared flag parser for the `src/bin/` binaries
+//!    (`--jobs`, `--designs`, `--filter`, `--quick`).
+//!
+//! One binary per table/figure (see `src/bin/`); every run is
+//! deterministic for a given spec, so output is byte-identical at any
+//! worker count. Results are printed as markdown tables and also written
 //! as CSV under `results/`.
 //!
 //! | binary | artifact |
@@ -17,15 +29,18 @@
 //! | `ablations` | extension sweeps (BS size, timeout, backoff, mesh) |
 //! | `all_experiments` | everything above, in sequence |
 
-use std::fmt::Write as _;
-use std::fs;
-use std::path::Path;
-
 use asymfence::prelude::*;
-use asymfence_workloads::cilk::{self, CilkApp};
-use asymfence_workloads::stamp::{self, StampApp};
-use asymfence_workloads::tlrw;
-use asymfence_workloads::ustm::{self, UstmBench};
+use asymfence_workloads::cilk::CilkApp;
+use asymfence_workloads::stamp::StampApp;
+use asymfence_workloads::ustm::UstmBench;
+
+pub mod cli;
+pub mod figures;
+pub mod report;
+pub mod runner;
+
+pub use report::{f2, mean, pct, ReportSink, Table};
+pub use runner::{Knobs, LitmusCase, RunSpec, Runner, Workload};
 
 /// Designs compared in the figures, in the paper's order.
 pub const DESIGNS: [FenceDesign; 4] = [
@@ -62,6 +77,12 @@ pub struct RunResult {
     pub commits: u64,
     /// Aborted transactions (STM runs only).
     pub aborts: u64,
+    /// How the run ended (litmus cases record deadlocks instead of
+    /// panicking on them).
+    pub outcome: RunOutcome,
+    /// Whether the Shasha–Snir checker found a sequential-consistency
+    /// violation (litmus runs with the SCV log enabled; `false` elsewhere).
+    pub scv: bool,
 }
 
 impl RunResult {
@@ -75,42 +96,32 @@ impl RunResult {
             a.other_stall_cycles as f64 / active as f64,
         )
     }
+
+    /// Folds `other` into `self`: cycles/commits/aborts add, the machine
+    /// statistics merge via [`MachineStats::merge`], and the SCV flag is
+    /// sticky. Used by Table 4 to aggregate a workload group; the first
+    /// run's `outcome` is kept.
+    pub fn merge(&mut self, other: &RunResult) {
+        self.cycles += other.cycles;
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+        self.stats.merge(&other.stats);
+        self.scv |= other.scv;
+    }
 }
 
-fn config(design: FenceDesign, cores: usize) -> MachineConfig {
-    MachineConfig::builder()
-        .cores(cores)
-        .fence_design(design)
-        .seed(SEED)
-        .build()
-}
-
-/// Runs one CilkApp to completion.
+/// Runs one CilkApp to completion (thin wrapper over
+/// [`RunSpec::execute`]).
 ///
 /// # Panics
 ///
 /// Panics if the run deadlocks or exceeds the cycle ceiling.
 pub fn run_cilk(app: CilkApp, design: FenceDesign, cores: usize, seed: u64) -> RunResult {
-    let cfg = config(design, cores);
-    let mut m = Machine::new(&cfg);
-    cilk::setup(&mut m, app, seed);
-    let outcome = m.run(MAX_CYCLES);
-    assert_eq!(
-        outcome,
-        RunOutcome::Finished,
-        "{} under {design} did not finish",
-        app.name()
-    );
-    RunResult {
-        cycles: m.now(),
-        stats: m.stats(),
-        commits: 0,
-        aborts: 0,
-    }
+    RunSpec::cilk(app, design, cores, seed).execute()
 }
 
 /// Runs one ustm microbenchmark for a fixed simulated window and counts
-/// committed transactions.
+/// committed transactions (thin wrapper over [`RunSpec::execute`]).
 pub fn run_ustm(
     bench: UstmBench,
     design: FenceDesign,
@@ -118,152 +129,17 @@ pub fn run_ustm(
     seed: u64,
     window: u64,
 ) -> RunResult {
-    let cfg = config(design, cores);
-    let mut m = Machine::new(&cfg);
-    ustm::install(&mut m, bench, seed, None);
-    let outcome = m.run(window);
-    assert_ne!(outcome, RunOutcome::Deadlocked, "{}: deadlock", bench.name());
-    let (commits, aborts) = tlrw::tally(&m);
-    RunResult {
-        cycles: m.now(),
-        stats: m.stats(),
-        commits,
-        aborts,
-    }
+    RunSpec::ustm(bench, design, cores, seed, window).execute()
 }
 
-/// Runs one STAMP app to completion.
+/// Runs one STAMP app to completion (thin wrapper over
+/// [`RunSpec::execute`]).
 ///
 /// # Panics
 ///
 /// Panics if the run deadlocks or exceeds the cycle ceiling.
 pub fn run_stamp(app: StampApp, design: FenceDesign, cores: usize, seed: u64) -> RunResult {
-    let cfg = config(design, cores);
-    let mut m = Machine::new(&cfg);
-    stamp::install(&mut m, app, seed);
-    let outcome = m.run(MAX_CYCLES);
-    assert_eq!(
-        outcome,
-        RunOutcome::Finished,
-        "{} under {design} did not finish",
-        app.name()
-    );
-    let (commits, aborts) = tlrw::tally(&m);
-    RunResult {
-        cycles: m.now(),
-        stats: m.stats(),
-        commits,
-        aborts,
-    }
-}
-
-// ----------------------------------------------------------------------
-// Reporting
-// ----------------------------------------------------------------------
-
-/// A markdown/CSV table builder.
-#[derive(Clone, Debug, Default)]
-pub struct Table {
-    header: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Starts a table with the given column names.
-    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        Table {
-            header: header.into_iter().map(Into::into).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends a row.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the arity differs from the header.
-    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
-        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
-        assert_eq!(cells.len(), self.header.len(), "row arity");
-        self.rows.push(cells);
-    }
-
-    /// Renders github-flavored markdown.
-    pub fn to_markdown(&self) -> String {
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
-        for r in &self.rows {
-            for (i, c) in r.iter().enumerate() {
-                widths[i] = widths[i].max(c.len());
-            }
-        }
-        let mut s = String::new();
-        let fmt_row = |cells: &[String], widths: &[usize]| {
-            let mut line = String::from("|");
-            for (c, w) in cells.iter().zip(widths) {
-                let _ = write!(line, " {c:<w$} |");
-            }
-            line
-        };
-        let _ = writeln!(s, "{}", fmt_row(&self.header, &widths));
-        let mut sep = String::from("|");
-        for w in &widths {
-            let _ = write!(sep, "{:-<1$}|", "", w + 2);
-        }
-        let _ = writeln!(s, "{sep}");
-        for r in &self.rows {
-            let _ = writeln!(s, "{}", fmt_row(r, &widths));
-        }
-        s
-    }
-
-    /// Renders CSV.
-    pub fn to_csv(&self) -> String {
-        let mut s = String::new();
-        let esc = |c: &String| {
-            if c.contains(',') {
-                format!("\"{c}\"")
-            } else {
-                c.clone()
-            }
-        };
-        let _ = writeln!(s, "{}", self.header.iter().map(esc).collect::<Vec<_>>().join(","));
-        for r in &self.rows {
-            let _ = writeln!(s, "{}", r.iter().map(esc).collect::<Vec<_>>().join(","));
-        }
-        s
-    }
-
-    /// Prints the markdown and writes `results/<name>.csv`.
-    pub fn emit(&self, name: &str) {
-        println!("{}", self.to_markdown());
-        let dir = Path::new("results");
-        if fs::create_dir_all(dir).is_ok() {
-            let path = dir.join(format!("{name}.csv"));
-            if let Err(e) = fs::write(&path, self.to_csv()) {
-                eprintln!("note: could not write {}: {e}", path.display());
-            } else {
-                println!("(csv written to {})\n", path.display());
-            }
-        }
-    }
-}
-
-/// Formats a ratio as a percentage string.
-pub fn pct(x: f64) -> String {
-    format!("{:.1}%", 100.0 * x)
-}
-
-/// Formats a float with 2 decimals.
-pub fn f2(x: f64) -> String {
-    format!("{x:.2}")
-}
-
-/// Geometric-mean helper used for the headline averages.
-pub fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
-    }
-    xs.iter().sum::<f64>() / xs.len() as f64
+    RunSpec::stamp(app, design, cores, seed).execute()
 }
 
 /// Minimal in-repo wall-clock benchmarking, replacing the external
@@ -409,27 +285,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn table_markdown_and_csv() {
-        let mut t = Table::new(vec!["a", "b"]);
-        t.row(vec!["1", "hello,world"]);
-        let md = t.to_markdown();
-        assert!(md.contains("| a"));
-        assert!(md.lines().count() == 3);
-        let csv = t.to_csv();
-        assert!(csv.contains("\"hello,world\""));
-    }
-
-    #[test]
-    #[should_panic(expected = "row arity")]
-    fn table_rejects_wrong_arity() {
-        let mut t = Table::new(vec!["a"]);
-        t.row(vec!["1", "2"]);
-    }
-
-    #[test]
     fn cilk_runner_smoke() {
         let r = run_cilk(CilkApp::Fib, FenceDesign::WsPlus, 2, 7);
         assert!(r.cycles > 0);
+        assert_eq!(r.outcome, RunOutcome::Finished);
         let (busy, fence, other) = r.breakdown();
         assert!((busy + fence + other - 1.0).abs() < 1e-9);
     }
@@ -441,8 +300,16 @@ mod tests {
     }
 
     #[test]
-    fn mean_of_values() {
-        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
-        assert_eq!(mean(&[]), 0.0);
+    fn run_result_merge_accumulates() {
+        let a = run_cilk(CilkApp::Fib, FenceDesign::SPlus, 2, 7);
+        let b = run_ustm(UstmBench::Counter, FenceDesign::SPlus, 2, 7, 40_000);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.cycles, a.cycles + b.cycles);
+        assert_eq!(m.commits, b.commits);
+        assert_eq!(
+            m.stats.aggregate().instrs_retired,
+            a.stats.aggregate().instrs_retired + b.stats.aggregate().instrs_retired
+        );
     }
 }

@@ -1,0 +1,477 @@
+//! The unified run engine: declarative [`RunSpec`]s executed by a
+//! [`Runner`] over a worker pool.
+//!
+//! Every experiment in the harness — figure grids, Table 4, the litmus
+//! matrix, the ablation sweeps — is an *independent* deterministic
+//! simulation. A [`RunSpec`] captures everything one run needs (workload,
+//! fence design, core count, seed, config knobs) as plain `Send` data;
+//! [`Runner::run`] fans a batch out over `std::thread::scope` workers,
+//! each of which builds its **own** [`Machine`] from the spec, and
+//! returns results in spec order. Because runs share no mutable state and
+//! aggregation is order-preserving, output produced from the results is
+//! byte-identical no matter the worker count.
+//!
+//! Worker count: `--jobs N` on the binaries beats the `ASF_JOBS`
+//! environment variable beats [`std::thread::available_parallelism`].
+//! Progress lines (`[done/total] spec … (cycles, wall ms)`) go to stderr
+//! while a sweep runs; they are suppressed when stderr is not a terminal
+//! or `ASF_PROGRESS=0` (and forced on by `ASF_PROGRESS=1`).
+
+use std::io::IsTerminal;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use asymfence::prelude::*;
+use asymfence_common::par;
+use asymfence_workloads::cilk::{self, CilkApp};
+use asymfence_workloads::litmus;
+use asymfence_workloads::stamp::{self, StampApp};
+use asymfence_workloads::tlrw;
+use asymfence_workloads::ustm::{self, UstmBench};
+
+use crate::{RunResult, MAX_CYCLES};
+
+/// Environment variable controlling progress lines (`0` off, `1` force).
+pub const PROGRESS_ENV: &str = "ASF_PROGRESS";
+
+/// A litmus scenario as pure data (mirrors the builders in
+/// [`asymfence_workloads::litmus`], so a [`RunSpec`] stays `Send`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LitmusCase {
+    /// Store-buffering (Dekker), optionally fenced — Figure 1d.
+    StoreBuffering {
+        /// Fence roles for the two threads; `None` leaves them unfenced.
+        fences: Option<(FenceRole, FenceRole)>,
+    },
+    /// Three threads in a cyclic communication pattern — Figures 1e/3c.
+    ThreeThreadCycle {
+        /// Fence role per thread.
+        roles: [FenceRole; 3],
+    },
+    /// Two unrelated fences whose lines falsely share — Figure 4b.
+    FalseSharingPair {
+        /// Fence roles for the two threads.
+        roles: (FenceRole, FenceRole),
+    },
+}
+
+impl LitmusCase {
+    /// Cores the scenario needs.
+    pub fn cores(&self) -> usize {
+        match self {
+            LitmusCase::ThreeThreadCycle { .. } => 3,
+            _ => 2,
+        }
+    }
+
+    fn setup(&self) -> litmus::LitmusSetup {
+        match *self {
+            LitmusCase::StoreBuffering { fences } => litmus::store_buffering(fences),
+            LitmusCase::ThreeThreadCycle { roles } => litmus::three_thread_cycle(roles),
+            LitmusCase::FalseSharingPair { roles } => {
+                litmus::false_sharing_pair(roles.0, roles.1)
+            }
+        }
+    }
+}
+
+/// What a [`RunSpec`] simulates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// A CilkApp run to completion (Figures 8, 12, Table 4).
+    Cilk(CilkApp),
+    /// A ustm microbenchmark run for a fixed simulated window
+    /// (Figures 9, 10, 12, Table 4, ablations).
+    Ustm {
+        /// The microbenchmark.
+        bench: UstmBench,
+        /// Simulated-cycle window.
+        window: u64,
+    },
+    /// A STAMP app run to completion (Figures 11, 12, Table 4).
+    Stamp(StampApp),
+    /// A litmus scenario with outcome/SCV checking (Figures 1/3/4).
+    Litmus(LitmusCase),
+}
+
+impl Workload {
+    /// Short name, used for progress lines and `--filter`.
+    pub fn name(&self) -> String {
+        match self {
+            Workload::Cilk(app) => app.name().to_string(),
+            Workload::Ustm { bench, .. } => bench.name().to_string(),
+            Workload::Stamp(app) => app.name().to_string(),
+            Workload::Litmus(case) => match case {
+                LitmusCase::StoreBuffering { fences: None } => "sb-unfenced".into(),
+                LitmusCase::StoreBuffering { .. } => "sb-fenced".into(),
+                LitmusCase::ThreeThreadCycle { .. } => "3cycle".into(),
+                LitmusCase::FalseSharingPair { .. } => "false-sharing".into(),
+            },
+        }
+    }
+}
+
+/// Config-knob overrides for ablation points. `None` keeps the default.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Knobs {
+    /// Bypass-Set capacity.
+    pub bs_entries: Option<usize>,
+    /// Bounced-write retry backoff, in cycles.
+    pub bounce_retry_cycles: Option<u64>,
+    /// W+ deadlock-suspicion timeout, in cycles.
+    pub w_timeout_cycles: Option<u64>,
+    /// Write-buffer merge width.
+    pub wb_merge_width: Option<usize>,
+    /// Mesh hop latency, in cycles.
+    pub hop_cycles: Option<u64>,
+}
+
+impl Knobs {
+    fn apply(&self, mut b: MachineConfigBuilder) -> MachineConfigBuilder {
+        if let Some(n) = self.bs_entries {
+            b = b.bs_entries(n);
+        }
+        if let Some(n) = self.bounce_retry_cycles {
+            b = b.bounce_retry_cycles(n);
+        }
+        if let Some(n) = self.w_timeout_cycles {
+            b = b.w_timeout_cycles(n);
+        }
+        if let Some(n) = self.wb_merge_width {
+            b = b.wb_merge_width(n);
+        }
+        if let Some(n) = self.hop_cycles {
+            b = b.hop_cycles(n);
+        }
+        b
+    }
+
+    fn is_default(&self) -> bool {
+        *self == Knobs::default()
+    }
+}
+
+/// One fully-described deterministic simulation. Plain data (`Send` +
+/// `Sync`), so a batch of specs can be executed by any worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunSpec {
+    /// What to simulate.
+    pub workload: Workload,
+    /// Fence microarchitecture under test.
+    pub design: FenceDesign,
+    /// Core count.
+    pub cores: usize,
+    /// Seed for both the machine config and the workload generator.
+    pub seed: u64,
+    /// Ablation config overrides.
+    pub knobs: Knobs,
+}
+
+impl RunSpec {
+    /// A CilkApp spec.
+    pub fn cilk(app: CilkApp, design: FenceDesign, cores: usize, seed: u64) -> Self {
+        RunSpec {
+            workload: Workload::Cilk(app),
+            design,
+            cores,
+            seed,
+            knobs: Knobs::default(),
+        }
+    }
+
+    /// A ustm spec with a simulated-cycle window.
+    pub fn ustm(
+        bench: UstmBench,
+        design: FenceDesign,
+        cores: usize,
+        seed: u64,
+        window: u64,
+    ) -> Self {
+        RunSpec {
+            workload: Workload::Ustm { bench, window },
+            design,
+            cores,
+            seed,
+            knobs: Knobs::default(),
+        }
+    }
+
+    /// A STAMP spec.
+    pub fn stamp(app: StampApp, design: FenceDesign, cores: usize, seed: u64) -> Self {
+        RunSpec {
+            workload: Workload::Stamp(app),
+            design,
+            cores,
+            seed,
+            knobs: Knobs::default(),
+        }
+    }
+
+    /// A litmus spec (core count comes from the scenario).
+    pub fn litmus(case: LitmusCase, design: FenceDesign, seed: u64) -> Self {
+        RunSpec {
+            workload: Workload::Litmus(case),
+            design,
+            cores: case.cores(),
+            seed,
+            knobs: Knobs::default(),
+        }
+    }
+
+    /// Replaces the config knobs.
+    #[must_use]
+    pub fn with_knobs(mut self, knobs: Knobs) -> Self {
+        self.knobs = knobs;
+        self
+    }
+
+    /// Human-readable label for progress lines.
+    pub fn label(&self) -> String {
+        let mut s = format!(
+            "{}/{}/{}c/s{}",
+            self.workload.name(),
+            self.design.label(),
+            self.cores,
+            self.seed
+        );
+        if !self.knobs.is_default() {
+            s.push_str("/knobs");
+        }
+        s
+    }
+
+    fn config(&self) -> MachineConfig {
+        let mut b = MachineConfig::builder()
+            .cores(self.cores)
+            .fence_design(self.design)
+            .seed(self.seed);
+        if let Workload::Litmus(_) = self.workload {
+            b = b.watchdog_cycles(30_000).record_scv_log(true);
+        }
+        self.knobs.apply(b).build()
+    }
+
+    /// Executes the spec on a freshly built [`Machine`]. Pure: equal
+    /// specs produce equal results, on any thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a to-completion workload (Cilk/STAMP) fails to finish or
+    /// a ustm run deadlocks; litmus outcomes are *recorded*, not
+    /// asserted, since deadlock is the expected result for some cases.
+    pub fn execute(&self) -> RunResult {
+        let cfg = self.config();
+        let mut m = Machine::new(&cfg);
+        match self.workload {
+            Workload::Cilk(app) => {
+                cilk::setup(&mut m, app, self.seed);
+                let outcome = m.run(MAX_CYCLES);
+                assert_eq!(
+                    outcome,
+                    RunOutcome::Finished,
+                    "{} under {} did not finish",
+                    app.name(),
+                    self.design
+                );
+                RunResult {
+                    cycles: m.now(),
+                    stats: m.stats(),
+                    commits: 0,
+                    aborts: 0,
+                    outcome,
+                    scv: false,
+                }
+            }
+            Workload::Ustm { bench, window } => {
+                ustm::install(&mut m, bench, self.seed, None);
+                let outcome = m.run(window);
+                assert_ne!(outcome, RunOutcome::Deadlocked, "{}: deadlock", bench.name());
+                let (commits, aborts) = tlrw::tally(&m);
+                RunResult {
+                    cycles: m.now(),
+                    stats: m.stats(),
+                    commits,
+                    aborts,
+                    outcome,
+                    scv: false,
+                }
+            }
+            Workload::Stamp(app) => {
+                stamp::install(&mut m, app, self.seed);
+                let outcome = m.run(MAX_CYCLES);
+                assert_eq!(
+                    outcome,
+                    RunOutcome::Finished,
+                    "{} under {} did not finish",
+                    app.name(),
+                    self.design
+                );
+                let (commits, aborts) = tlrw::tally(&m);
+                RunResult {
+                    cycles: m.now(),
+                    stats: m.stats(),
+                    commits,
+                    aborts,
+                    outcome,
+                    scv: false,
+                }
+            }
+            Workload::Litmus(case) => {
+                let (progs, _regs) = case.setup();
+                for p in progs {
+                    m.add_thread(p);
+                }
+                let outcome = m.run(50_000_000);
+                let scv = m.scv_log().map(scv::has_violation).unwrap_or(false);
+                RunResult {
+                    cycles: m.now(),
+                    stats: m.stats(),
+                    commits: 0,
+                    aborts: 0,
+                    outcome,
+                    scv,
+                }
+            }
+        }
+    }
+}
+
+/// Whether progress lines should be printed, from the environment:
+/// `ASF_PROGRESS=0` forces them off, `ASF_PROGRESS=1` forces them on,
+/// otherwise they follow whether stderr is a terminal.
+pub fn progress_from_env() -> bool {
+    match std::env::var(PROGRESS_ENV).ok().as_deref() {
+        Some("0") => false,
+        Some("1") => true,
+        _ => std::io::stderr().is_terminal(),
+    }
+}
+
+/// Executes batches of [`RunSpec`]s over a worker pool with
+/// order-preserving aggregation.
+#[derive(Clone, Copy, Debug)]
+pub struct Runner {
+    jobs: usize,
+    progress: bool,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::new(None)
+    }
+}
+
+impl Runner {
+    /// A runner with `explicit` workers, falling back to `ASF_JOBS` and
+    /// then the machine's available parallelism; progress reporting
+    /// follows [`progress_from_env`].
+    pub fn new(explicit: Option<usize>) -> Self {
+        Runner {
+            jobs: par::resolve_jobs(explicit),
+            progress: progress_from_env(),
+        }
+    }
+
+    /// A runner with exactly `jobs` workers (tests use `1` vs `8`).
+    pub fn with_jobs(jobs: usize) -> Self {
+        Runner {
+            jobs: jobs.max(1),
+            progress: progress_from_env(),
+        }
+    }
+
+    /// Overrides progress reporting (tests silence it).
+    #[must_use]
+    pub fn progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
+    /// The resolved worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs every spec, fanning out over the worker pool; results come
+    /// back in spec order, so downstream table/CSV emission is identical
+    /// no matter the worker count. Each worker builds its own `Machine`
+    /// per spec — no state is shared between runs.
+    pub fn run(&self, specs: &[RunSpec]) -> Vec<RunResult> {
+        let total = specs.len();
+        let done = AtomicUsize::new(0);
+        par::par_map(self.jobs, specs, |_, spec| {
+            let t0 = Instant::now();
+            let result = spec.execute();
+            let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if self.progress {
+                eprintln!(
+                    "[{n}/{total}] {} ({} cycles, {} ms)",
+                    spec.label(),
+                    result.cycles,
+                    t0.elapsed().as_millis()
+                );
+            }
+            result
+        })
+    }
+
+    /// Runs one spec (convenience for timers and tests).
+    pub fn run_one(&self, spec: &RunSpec) -> RunResult {
+        spec.execute()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_labels_are_descriptive() {
+        let s = RunSpec::cilk(CilkApp::Fib, FenceDesign::WsPlus, 4, 7);
+        assert_eq!(s.label(), "fib/WS+/4c/s7");
+        let k = s.with_knobs(Knobs {
+            bs_entries: Some(2),
+            ..Default::default()
+        });
+        assert!(k.label().ends_with("/knobs"));
+    }
+
+    #[test]
+    fn litmus_cores_follow_scenario() {
+        let three = LitmusCase::ThreeThreadCycle {
+            roles: [FenceRole::Critical; 3],
+        };
+        assert_eq!(three.cores(), 3);
+        assert_eq!(RunSpec::litmus(three, FenceDesign::WPlus, 0).cores, 3);
+    }
+
+    #[test]
+    fn runner_results_are_order_preserving_and_deterministic() {
+        // A small mixed grid: results must be identical at 1 and 4 jobs.
+        let specs = vec![
+            RunSpec::cilk(CilkApp::Fib, FenceDesign::SPlus, 2, 7),
+            RunSpec::ustm(UstmBench::Counter, FenceDesign::WsPlus, 2, 7, 40_000),
+            RunSpec::cilk(CilkApp::Fib, FenceDesign::WsPlus, 2, 7),
+        ];
+        let serial = Runner::with_jobs(1).progress(false).run(&specs);
+        let parallel = Runner::with_jobs(4).progress(false).run(&specs);
+        assert_eq!(serial.len(), 3);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.commits, b.commits);
+            assert_eq!(a.stats, b.stats);
+        }
+    }
+
+    #[test]
+    fn litmus_spec_records_outcome_and_scv() {
+        let unfenced = RunSpec::litmus(
+            LitmusCase::StoreBuffering { fences: None },
+            FenceDesign::SPlus,
+            crate::SEED,
+        );
+        let r = unfenced.execute();
+        assert_eq!(r.outcome, RunOutcome::Finished);
+        assert!(r.scv, "unfenced store buffering must show an SCV");
+    }
+}

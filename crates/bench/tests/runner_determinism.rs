@@ -1,0 +1,112 @@
+//! The run engine's central guarantee: output is byte-identical at any
+//! worker count. Each test drives the same work through a serial runner
+//! (`jobs = 1`) and a parallel one (`jobs = 8`) and compares bytes —
+//! captured markdown, CSV payloads, and raw results. Sizes are kept small
+//! so the suite stays fast in debug builds; `ci.sh` repeats the
+//! comparison on the full `--quick` grid in release mode.
+
+use asymfence::prelude::FenceDesign;
+use asymfence_bench::cli::Opts;
+use asymfence_bench::{figures, ReportSink, RunSpec, Runner, SEED};
+use asymfence_workloads::cilk::CilkApp;
+use asymfence_workloads::ustm::UstmBench;
+
+fn silent(jobs: usize) -> Runner {
+    Runner::with_jobs(jobs).progress(false)
+}
+
+/// A whole figure — the litmus matrix, which exercises machines of
+/// different core counts, recorded outcomes, and SCV checking — renders
+/// to identical markdown and CSV bytes at 1 and 8 workers.
+#[test]
+fn litmus_matrix_bytes_are_identical_at_any_worker_count() {
+    let opts = Opts::default();
+    let mut serial = ReportSink::capture();
+    figures::litmus_matrix(&silent(1), &opts, &mut serial);
+    let mut parallel = ReportSink::capture();
+    figures::litmus_matrix(&silent(8), &opts, &mut parallel);
+
+    assert_eq!(serial.captured(), parallel.captured());
+    assert_eq!(serial.table_names(), parallel.table_names());
+    assert_eq!(serial.csv("litmus_matrix"), parallel.csv("litmus_matrix"));
+    // The figure actually produced content (guards against a silently
+    // empty sink making the equality vacuous).
+    assert!(serial.captured().contains("SB unfenced"));
+    assert!(serial.csv("litmus_matrix").unwrap().lines().count() > 10);
+}
+
+/// A mixed workload grid returns bit-identical results in spec order,
+/// independent of the worker count.
+#[test]
+fn mixed_grid_results_are_identical_at_any_worker_count() {
+    let mut specs = Vec::new();
+    for design in [FenceDesign::SPlus, FenceDesign::WsPlus, FenceDesign::WPlus] {
+        specs.push(RunSpec::cilk(CilkApp::Fib, design, 2, SEED));
+        specs.push(RunSpec::ustm(UstmBench::Counter, design, 2, SEED, 40_000));
+        specs.push(RunSpec::ustm(UstmBench::Hash, design, 2, SEED, 40_000));
+    }
+    let serial = silent(1).run(&specs);
+    let parallel = silent(8).run(&specs);
+    assert_eq!(serial.len(), specs.len());
+    for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(a.cycles, b.cycles, "spec {}", specs[i].label());
+        assert_eq!(a.commits, b.commits, "spec {}", specs[i].label());
+        assert_eq!(a.aborts, b.aborts, "spec {}", specs[i].label());
+        assert_eq!(a.outcome, b.outcome, "spec {}", specs[i].label());
+        assert_eq!(a.stats, b.stats, "spec {}", specs[i].label());
+    }
+}
+
+/// `--filter` and `--designs` restrict the grid identically under both
+/// runners (the flags shape the spec list, never the execution).
+#[test]
+fn filtered_figure_is_identical_at_any_worker_count() {
+    let opts = Opts {
+        quick: true,
+        designs: Some(vec![FenceDesign::WsPlus]),
+        filter: Some("fib".to_string()),
+    };
+    let mut serial = ReportSink::capture();
+    figures::fig08(&silent(1), &opts, &mut serial);
+    let mut parallel = ReportSink::capture();
+    figures::fig08(&silent(8), &opts, &mut parallel);
+    assert_eq!(serial.captured(), parallel.captured());
+    assert!(serial.captured().contains("| fib"));
+    assert!(!serial.captured().contains("| matmul"));
+    // Only the requested designs appear as table rows (the word "Wee"
+    // still shows up in the paper-reference notes).
+    assert!(!serial.captured().contains("| Wee"));
+}
+
+/// `MachineStats::merge` over real run statistics behaves like the
+/// arithmetic it replaces: merging per-run stats gives the same aggregate
+/// counters in any association order.
+#[test]
+fn machine_stats_merge_is_order_independent_on_real_runs() {
+    let runs: Vec<_> = [
+        RunSpec::cilk(CilkApp::Fib, FenceDesign::SPlus, 2, SEED),
+        RunSpec::ustm(UstmBench::Counter, FenceDesign::WsPlus, 2, SEED, 40_000),
+        RunSpec::ustm(UstmBench::Hash, FenceDesign::WPlus, 2, SEED, 40_000),
+    ]
+    .iter()
+    .map(|s| s.execute())
+    .collect();
+
+    // ((a ⊕ b) ⊕ c) vs (a ⊕ (b ⊕ c))
+    let left = runs[0]
+        .stats
+        .clone()
+        .merged(&runs[1].stats)
+        .merged(&runs[2].stats);
+    let right = runs[0]
+        .stats
+        .clone()
+        .merged(&runs[1].stats.clone().merged(&runs[2].stats));
+    assert_eq!(left, right);
+
+    let total = left.aggregate();
+    let sum: u64 = runs.iter().map(|r| r.stats.aggregate().instrs_retired).sum();
+    assert_eq!(total.instrs_retired, sum);
+    let busy: u64 = runs.iter().map(|r| r.stats.aggregate().busy_cycles).sum();
+    assert_eq!(total.busy_cycles, busy);
+}

@@ -128,8 +128,6 @@ struct WeePending {
     collected: Vec<LineAddr>,
     /// Replies still outstanding (own bank first, then the broadcast).
     remaining: usize,
-    /// Whether the broadcast phase started.
-    broadcast: bool,
 }
 
 struct CorePort {
@@ -404,6 +402,7 @@ impl MemSystem {
 
     /// Attempts to complete a write as a writable L1 hit. Returns whether
     /// it succeeded (completion event scheduled).
+    #[allow(clippy::too_many_arguments)]
     fn try_local_write(
         &mut self,
         now: Cycle,
@@ -550,7 +549,6 @@ impl MemSystem {
             fence_serial,
             collected: Vec::new(),
             remaining: 1,
-            broadcast: false,
         });
         self.send(
             now,

@@ -130,11 +130,11 @@ pub struct Perturbation {
 
 impl Perturbation {
     /// Perturbation streams (namespaces for [`Perturbation::draw`]).
-    pub const STREAM_NOC: u64 = 0x6E6F_63;
+    pub const STREAM_NOC: u64 = 0x006E_6F63;
     /// Write-buffer stall stream.
     pub const STREAM_WB: u64 = 0x7762;
     /// Invalidation delay stream.
-    pub const STREAM_INVAL: u64 = 0x696E_76;
+    pub const STREAM_INVAL: u64 = 0x0069_6E76;
 
     /// Whether any perturbation is enabled.
     pub fn is_active(&self) -> bool {
@@ -531,20 +531,28 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_configs() {
-        let mut c = MachineConfig::default();
-        c.num_cores = 0;
+        let c = MachineConfig {
+            num_cores: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = MachineConfig::default();
-        c.line_bytes = 48;
+        let c = MachineConfig {
+            line_bytes: 48,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = MachineConfig::default();
-        c.word_bytes = 64;
+        let c = MachineConfig {
+            word_bytes: 64,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = MachineConfig::default();
-        c.bs_entries = 0;
+        let c = MachineConfig {
+            bs_entries: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 

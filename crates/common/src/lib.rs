@@ -3,7 +3,8 @@
 //! This crate holds the types that every layer of the stack speaks:
 //! addresses and identifiers ([`ids`]), the machine configuration
 //! ([`config`]), statistics counters ([`stats`]), a deterministic RNG
-//! ([`rng`]), a hermetic property-testing harness ([`prop`]) and small
+//! ([`rng`]), a hermetic property-testing harness ([`prop`]), scoped
+//! worker-pool parallelism for deterministic sweeps ([`par`]) and small
 //! utility containers ([`queue`]).
 //!
 //! # Examples
@@ -21,6 +22,7 @@
 
 pub mod config;
 pub mod ids;
+pub mod par;
 pub mod prop;
 pub mod queue;
 pub mod rng;

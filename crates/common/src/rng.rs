@@ -21,7 +21,7 @@ pub fn hash64(mut x: u64) -> u64 {
 /// Mixes several values into one seed (order-sensitive), for deriving
 /// independent deterministic streams from (seed, stream, event) tuples.
 pub fn mix64(parts: &[u64]) -> u64 {
-    let mut acc = 0x51_7C_C1B7_2722_0A95u64;
+    let mut acc = 0x517C_C1B7_2722_0A95_u64;
     for &p in parts {
         acc = hash64(acc ^ p);
     }

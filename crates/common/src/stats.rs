@@ -187,6 +187,37 @@ pub struct MachineStats {
 }
 
 impl MachineStats {
+    /// Merges another run's statistics into this one: cycles and traffic
+    /// add, per-core counters combine index-wise (extending if `other`
+    /// has more cores), and the deadlock flag is sticky.
+    ///
+    /// `merge` is associative and has [`MachineStats::default`] as its
+    /// identity, so per-run statistics collected by independent parallel
+    /// jobs can be folded in any grouping with the same result — this is
+    /// what lets the run engine aggregate worker output without any
+    /// global (shared-mutable) statistics state.
+    pub fn merge(&mut self, other: &MachineStats) {
+        self.cycles += other.cycles;
+        for (i, c) in other.cores.iter().enumerate() {
+            if i < self.cores.len() {
+                self.cores[i] += c;
+            } else {
+                self.cores.push(c.clone());
+            }
+        }
+        self.traffic.base_bytes += other.traffic.base_bytes;
+        self.traffic.retry_bytes += other.traffic.retry_bytes;
+        self.traffic.messages += other.traffic.messages;
+        self.deadlocked |= other.deadlocked;
+    }
+
+    /// [`MachineStats::merge`] by value, for fold chains.
+    #[must_use]
+    pub fn merged(mut self, other: &MachineStats) -> Self {
+        self.merge(other);
+        self
+    }
+
     /// Sum of all per-core counters.
     pub fn aggregate(&self) -> CoreStats {
         let mut total = CoreStats::default();
@@ -325,6 +356,61 @@ mod tests {
         assert_eq!(t.total_bytes(), 1025);
         assert!((t.retry_increase_pct() - 2.5).abs() < 1e-12);
         assert_eq!(TrafficStats::default().retry_increase_pct(), 0.0);
+    }
+
+    fn sample(busy: u64, cores: usize, base: u64) -> MachineStats {
+        MachineStats {
+            cycles: busy * 10,
+            cores: (0..cores)
+                .map(|i| CoreStats {
+                    busy_cycles: busy + i as u64,
+                    fence_stall_cycles: i as u64,
+                    bs_peak: busy % 7,
+                    ..Default::default()
+                })
+                .collect(),
+            traffic: TrafficStats {
+                base_bytes: base,
+                retry_bytes: base / 4,
+                messages: base / 32,
+            },
+            deadlocked: false,
+        }
+    }
+
+    #[test]
+    fn merge_identity() {
+        let a = sample(100, 3, 4096);
+        let mut lhs = a.clone();
+        lhs.merge(&MachineStats::default());
+        assert_eq!(lhs, a, "default is a right identity");
+        let mut rhs = MachineStats::default();
+        rhs.merge(&a);
+        assert_eq!(rhs, a, "default is a left identity");
+    }
+
+    #[test]
+    fn merge_associativity() {
+        // Deliberately ragged core counts: associativity must hold even
+        // when runs come from machines of different sizes.
+        let (a, b, c) = (sample(10, 2, 100), sample(20, 4, 200), sample(30, 3, 50));
+        let ab_c = a.clone().merged(&b).merged(&c);
+        let a_bc = a.clone().merged(&b.clone().merged(&c));
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c.cycles, 600);
+        assert_eq!(ab_c.cores.len(), 4);
+        assert_eq!(ab_c.traffic.base_bytes, 350);
+    }
+
+    #[test]
+    fn merge_deadlock_is_sticky() {
+        let mut a = sample(1, 1, 8);
+        let dead = MachineStats {
+            deadlocked: true,
+            ..Default::default()
+        };
+        a.merge(&dead);
+        assert!(a.deadlocked);
     }
 
     #[test]

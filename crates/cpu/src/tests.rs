@@ -216,8 +216,10 @@ fn unprotected_weak_fences_deadlock() {
     let (progs, _, _) = crossed_wf_programs();
     let (cores, _, done) = run(&c, progs, 100_000);
     assert!(!done, "Figure 3a: all-wf groups with no protection deadlock");
-    // Both cores are stuck with bounced head stores.
-    assert!(cores.iter().any(|c| c.stats().writes_bounced > 0 || true));
+    // Both cores executed their weak fences and then got stuck waiting
+    // on them (no recovery mechanism in the unprotected design).
+    assert!(cores.iter().all(|c| c.stats().wf_count == 1));
+    assert!(cores.iter().all(|c| c.stats().recoveries == 0));
 }
 
 #[test]

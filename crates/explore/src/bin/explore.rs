@@ -35,9 +35,11 @@ fn parse_scenario(s: &str) -> Option<Scenario> {
 }
 
 const USAGE: &str = "usage: explore --scenario <sb-unfenced|sb-fenced|sb-padded|3cycle> \
-  --design <S+|WS+|SW+|W+|Wee|unsafe|all> [--seeds N] [--seed N]\n\
+  --design <S+|WS+|SW+|W+|Wee|unsafe|all> [--seeds N] [--seed N] [--jobs N]\n\
   --seeds N   sweep seed indices 0..N (default 256; seed 0 = natural schedule)\n\
-  --seed N    replay exactly one seed instead of sweeping";
+  --seed N    replay exactly one seed instead of sweeping\n\
+  --jobs N    sweep worker threads (default: ASF_JOBS, then all cores);\n\
+              reports are identical at any worker count";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,6 +47,7 @@ fn main() -> ExitCode {
     let mut designs = None;
     let mut cfg = ExploreConfig::default();
     let mut single_seed = None;
+    let mut jobs = 0;
 
     let mut i = 0;
     while i < args.len() {
@@ -78,6 +81,13 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--jobs" => match need(i).and_then(|v| v.parse().ok()) {
+                Some(n) => jobs = n,
+                None => {
+                    eprintln!("--jobs needs a number\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -95,7 +105,7 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let ex = Explorer::new(cfg);
+    let ex = Explorer::new(cfg).with_jobs(jobs);
     let mut dirty = false;
     for design in designs {
         let sc = scenario.clone().with_roles_for(design);

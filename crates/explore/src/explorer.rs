@@ -16,6 +16,7 @@
 use std::fmt;
 
 use asymfence::prelude::{scv, FenceDesign, Machine, Perturbation, RunOutcome};
+use asymfence_common::par;
 
 use crate::scenario::Scenario;
 
@@ -144,7 +145,9 @@ impl fmt::Display for Counterexample {
 pub struct SweepReport {
     /// The design swept.
     pub design: FenceDesign,
-    /// Simulator runs performed (sweep + shrink).
+    /// Serial-equivalent simulator runs (seeds up to and including the
+    /// first failure, plus shrink runs). Independent of the worker
+    /// count, so reports are byte-identical at any [`Explorer::jobs`].
     pub runs: u64,
     /// The minimized failure, if any seed tripped the oracle.
     pub violation: Option<Counterexample>,
@@ -158,17 +161,30 @@ impl SweepReport {
 }
 
 /// The engine. Stateless apart from its config; every method is a pure
-/// function of `(config, scenario, design)`.
+/// function of `(config, scenario, design)`, so the seed sweep can fan
+/// out over worker threads without changing any report.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Explorer {
     /// Budgets and magnitudes.
     pub cfg: ExploreConfig,
+    /// Worker threads for the seed sweep: `0` resolves from `ASF_JOBS`
+    /// and then the machine's available parallelism; `1` forces the
+    /// serial scan. Shrinking is always serial (each step depends on the
+    /// previous candidate).
+    pub jobs: usize,
 }
 
 impl Explorer {
     /// Creates an explorer with the given budgets.
     pub fn new(cfg: ExploreConfig) -> Self {
-        Explorer { cfg }
+        Explorer { cfg, jobs: 0 }
+    }
+
+    /// Sets the sweep worker count (`0` = resolve from the environment).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
     }
 
     /// Runs one seed of the scenario and applies the oracle.
@@ -196,24 +212,33 @@ impl Explorer {
         })
     }
 
-    /// Sweeps `0..cfg.seeds`; on the first failure, shrinks it and stops.
+    /// Sweeps `0..cfg.seeds`; on the lowest failing seed, shrinks it and
+    /// stops.
+    ///
+    /// With more than one worker the sweep fans seeds out over threads
+    /// ([`par::par_min_find`]), but still resolves to the *minimum*
+    /// failing seed — exactly the seed the serial scan stops at — and
+    /// charges `runs` as the serial-equivalent count, so the report (and
+    /// everything shrunk from it) is identical at any worker count.
     pub fn sweep(&self, scenario: &Scenario, design: FenceDesign) -> SweepReport {
-        let mut runs = 0;
-        for seed in 0..self.cfg.seeds {
-            runs += 1;
-            if let Some(failure) = self.run_seed(scenario, design, seed) {
+        let jobs = par::resolve_jobs((self.jobs > 0).then_some(self.jobs));
+        let hit = par::par_min_find(jobs, self.cfg.seeds, |seed| {
+            self.run_seed(scenario, design, seed)
+        });
+        match hit {
+            Some((seed, failure)) => {
                 let (cex, shrink_runs) = self.shrink(scenario.clone(), design, seed, failure);
-                return SweepReport {
+                SweepReport {
                     design,
-                    runs: runs + shrink_runs,
+                    runs: seed + 1 + shrink_runs,
                     violation: Some(cex),
-                };
+                }
             }
-        }
-        SweepReport {
-            design,
-            runs,
-            violation: None,
+            None => SweepReport {
+                design,
+                runs: self.cfg.seeds,
+                violation: None,
+            },
         }
     }
 

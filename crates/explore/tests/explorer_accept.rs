@@ -89,6 +89,42 @@ fn sweeps_are_deterministic() {
     assert_eq!(a.failure, b.failure);
 }
 
+/// The parallel sweep is observationally identical to the serial scan:
+/// same minimized counterexample, same serial-equivalent run count, at
+/// any worker count. (This is the explorer half of the run-engine
+/// determinism guarantee; the figure half lives in
+/// `crates/bench/tests/runner_determinism.rs`.)
+#[test]
+fn parallel_sweep_matches_serial_sweep_bit_for_bit() {
+    let cfg = ExploreConfig {
+        seeds: 48,
+        ..Default::default()
+    };
+    for scenario in [
+        Scenario::store_buffering(false),
+        Scenario::store_buffering(true),
+    ] {
+        for &design in &[FenceDesign::SPlus, FenceDesign::WPlus] {
+            let sc = scenario.clone().with_roles_for(design);
+            let serial = Explorer::new(cfg).with_jobs(1).sweep(&sc, design);
+            let parallel = Explorer::new(cfg).with_jobs(8).sweep(&sc, design);
+            assert_eq!(serial.runs, parallel.runs, "{design:?}");
+            match (&serial.violation, &parallel.violation) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.seed, b.seed);
+                    assert_eq!(a.found_seed, b.found_seed);
+                    assert_eq!(a.scenario, b.scenario);
+                    assert_eq!(a.failure, b.failure);
+                    // The rendered report (what the CLI prints) matches too.
+                    assert_eq!(a.to_string(), b.to_string());
+                }
+                (a, b) => panic!("{design:?}: serial={a:?} parallel={b:?}"),
+            }
+        }
+    }
+}
+
 /// Known-good: the fenced Dekker idiom survives a 1000-seed perturbation
 /// sweep under every safe design (ISSUE acceptance bound).
 #[test]

@@ -222,6 +222,7 @@ impl<M> Network<M> {
     /// matter the delays (the coherence protocol relies on point-to-point
     /// FIFO): a delayed message pushes the pair's arrival floor forward,
     /// so later sends cannot overtake it.
+    #[allow(clippy::too_many_arguments)]
     pub fn send_delayed(
         &mut self,
         now: Cycle,

@@ -264,7 +264,7 @@ pub fn programs(
     let threads = cfg.num_cores;
     let mut alloc = AddressAllocator::new(cfg.line_bytes, cfg.word_bytes);
     let layout = BakeryLayout::new(&mut alloc, threads);
-    let mut root = SimRng::new(seed ^ 0xBA4E_41);
+    let mut root = SimRng::new(seed ^ 0x00BA_4E41);
     (0..threads)
         .map(|tid| {
             Box::new(BakeryThread::new(

@@ -142,6 +142,7 @@ impl Scratch {
     }
 
     /// Next address in the walk.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Addr {
         let a = self.base.offset(self.cursor * 8);
         self.cursor = (self.cursor + self.stride_words) % self.words;

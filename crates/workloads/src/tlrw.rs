@@ -200,7 +200,9 @@ impl TxProfile {
                 }
             }
             AccessPattern::Hotspot => {
-                for _ in 0..n_reads {
+                // Every read hits the hot location; after `dedup` that is
+                // a single entry, so push it once.
+                if n_reads > 0 {
                     reads.push(0);
                 }
             }
