@@ -18,6 +18,9 @@ fi
 echo "== clippy (workspace, -D warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== docs (rustdoc, -D warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
+
 echo "== test (workspace, offline) =="
 cargo test -q --offline --workspace
 

@@ -8,6 +8,8 @@
 //!                   S+ always runs as the normalization baseline
 //! --filter SUBSTR   only workloads whose name contains SUBSTR
 //! --quick           ~4x smaller pass (same as ASF_QUICK=1)
+//! --trace PATH      re-run one workload per design with the fence
+//!                   trace on and write Chrome-trace JSON to PATH
 //! --help            usage
 //! ```
 
@@ -27,6 +29,10 @@ pub struct Opts {
     pub designs: Option<Vec<FenceDesign>>,
     /// `--filter`: workload-name substring filter.
     pub filter: Option<String>,
+    /// `--trace`: write a Chrome-trace JSON of one representative run
+    /// per design to this path. Off by default; never changes the
+    /// figure output (the histogram report goes to stderr).
+    pub trace: Option<String>,
 }
 
 impl Opts {
@@ -116,6 +122,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(
                 opts.filter = Some(value(i)?.clone());
                 i += 2;
             }
+            "--trace" => {
+                opts.trace = Some(value(i)?.clone());
+                i += 2;
+            }
             "--quick" => {
                 opts.quick = true;
                 i += 1;
@@ -130,11 +140,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(
 /// Usage text shared by the bench binaries.
 pub fn usage(bin: &str) -> String {
     format!(
-        "usage: {bin} [--jobs N] [--designs s+,ws+,sw+,w+,wee] [--filter SUBSTR] [--quick]\n\
+        "usage: {bin} [--jobs N] [--designs s+,ws+,sw+,w+,wee] [--filter SUBSTR] [--quick] [--trace PATH]\n\
          \x20 --jobs N        worker threads (default: ASF_JOBS, then all cores)\n\
          \x20 --designs LIST  designs to report (S+ always runs as the baseline)\n\
          \x20 --filter SUBSTR only workloads whose name contains SUBSTR\n\
          \x20 --quick         ~4x smaller pass (same as ASF_QUICK=1)\n\
+         \x20 --trace PATH    write a Perfetto-loadable fence trace to PATH\n\
          progress lines go to stderr; ASF_PROGRESS=0 silences, =1 forces"
     )
 }
@@ -166,12 +177,15 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let (jobs, opts) =
-            parse_args(s(&["--jobs", "4", "--designs", "ws+,w+", "--filter", "fib", "--quick"]))
-                .unwrap();
+        let (jobs, opts) = parse_args(s(&[
+            "--jobs", "4", "--designs", "ws+,w+", "--filter", "fib", "--quick", "--trace",
+            "out.json",
+        ]))
+        .unwrap();
         assert_eq!(jobs, Some(4));
         assert!(opts.quick);
         assert_eq!(opts.filter.as_deref(), Some("fib"));
+        assert_eq!(opts.trace.as_deref(), Some("out.json"));
         assert_eq!(
             opts.design_list(),
             vec![FenceDesign::SPlus, FenceDesign::WsPlus, FenceDesign::WPlus]
@@ -197,6 +211,13 @@ mod tests {
         assert!(parse_args(s(&["--jobs", "many"])).is_err());
         assert!(parse_args(s(&["--jobs"])).is_err());
         assert!(parse_args(s(&["--designs", "q+"])).is_err());
+        assert!(parse_args(s(&["--trace"])).is_err());
+    }
+
+    #[test]
+    fn trace_defaults_off() {
+        let (_, opts) = parse_args(s(&[])).unwrap();
+        assert!(opts.trace.is_none());
     }
 
     #[test]

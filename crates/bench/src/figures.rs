@@ -39,6 +39,7 @@ pub fn fig08(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
         .flat_map(|&app| designs.iter().map(move |&d| RunSpec::cilk(app, d, cores, SEED)))
         .collect();
     let results = runner.run(&specs);
+    crate::trace::maybe_emit("fig08_cilk", &specs, opts);
 
     let mut t = Table::new(vec![
         "app", "design", "cycles", "norm-time", "busy", "other-stall", "fence-stall",
@@ -105,6 +106,7 @@ pub fn fig09(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
         })
         .collect();
     let results = runner.run(&specs);
+    crate::trace::maybe_emit("fig09_ustm_throughput", &specs, opts);
 
     let mut t = Table::new(vec!["bench", "design", "commits", "aborts", "norm-throughput"]);
     let mut per_design: Vec<Vec<f64>> = vec![Vec::new(); designs.len()];
@@ -158,6 +160,7 @@ pub fn fig10(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
         })
         .collect();
     let results = runner.run(&specs);
+    crate::trace::maybe_emit("fig10_ustm_breakdown", &specs, opts);
 
     let per_txn = |r: &RunResult| {
         let a = r.stats.aggregate();
@@ -227,6 +230,7 @@ pub fn fig11(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
         .flat_map(|&a| designs.iter().map(move |&d| RunSpec::stamp(a, d, cores, SEED)))
         .collect();
     let results = runner.run(&specs);
+    crate::trace::maybe_emit("fig11_stamp", &specs, opts);
 
     let mut t = Table::new(vec![
         "app", "design", "cycles", "norm-time", "busy", "other-stall", "fence-stall",
@@ -317,6 +321,7 @@ pub fn fig12(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
         }
     }
     let results = runner.run(&specs);
+    crate::trace::maybe_emit("fig12_scalability", &specs, opts);
 
     // Sum of fence-stall cycles for one (group, design, cores) cell.
     let mut idx = 0;
@@ -416,6 +421,7 @@ pub fn table4(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
         }
     }
     let results = runner.run(&specs);
+    crate::trace::maybe_emit("table4_characterization", &specs, opts);
 
     let mut t = Table::new(vec![
         "group",
@@ -527,6 +533,7 @@ pub fn litmus_matrix(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
         .collect();
     let specs: Vec<RunSpec> = rows.iter().map(|(_, _, s)| *s).collect();
     let results = runner.run(&specs);
+    crate::trace::maybe_emit("litmus_matrix", &specs, opts);
 
     let mut t = Table::new(vec!["scenario", "design", "outcome", "SCV?"]);
     for ((scenario, design, _), r) in rows.iter().zip(&results) {
@@ -546,6 +553,9 @@ pub fn litmus_matrix(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
 pub fn ablations(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
     sink.line("# Ablations");
     sink.blank();
+    // Union of every sweep's specs, so `--trace` picks representatives
+    // from what actually ran.
+    let mut traced: Vec<RunSpec> = Vec::new();
     let fib = |knobs: Knobs, design: FenceDesign| {
         RunSpec::cilk(CilkApp::Fib, design, 8, SEED).with_knobs(knobs)
     };
@@ -565,6 +575,7 @@ pub fn ablations(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
             })
             .collect();
         let results = runner.run(&specs);
+        traced.extend_from_slice(&specs);
         let mut t = Table::new(vec!["bench", "WS+ commits", "SW+ commits", "SW+/WS+"]);
         for (bi, bench) in benches.iter().enumerate() {
             let ws = results[bi * 2].commits;
@@ -587,6 +598,7 @@ pub fn ablations(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
             fib(Knobs { bs_entries: Some(bs), ..Default::default() }, FenceDesign::WsPlus)
         }));
         let results = runner.run(&specs);
+        traced.extend_from_slice(&specs);
         let base = results[0].cycles;
         let mut t = Table::new(vec!["bs_entries", "cycles", "norm"]);
         for (i, &bs) in points.iter().enumerate() {
@@ -609,6 +621,7 @@ pub fn ablations(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
             })
             .collect();
         let results = runner.run(&specs);
+        traced.extend_from_slice(&specs);
         let mut t = Table::new(vec!["retry_cycles", "commits", "recoveries"]);
         for (&retry, r) in points.iter().zip(&results) {
             t.row(vec![
@@ -633,6 +646,7 @@ pub fn ablations(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
             })
             .collect();
         let results = runner.run(&specs);
+        traced.extend_from_slice(&specs);
         let mut t = Table::new(vec!["timeout", "commits", "recoveries"]);
         for (&timeout, r) in points.iter().zip(&results) {
             t.row(vec![
@@ -655,6 +669,7 @@ pub fn ablations(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
             fib(Knobs { wb_merge_width: Some(w), ..Default::default() }, FenceDesign::SPlus)
         }));
         let results = runner.run(&specs);
+        traced.extend_from_slice(&specs);
         let base = results[0].cycles;
         let mut t = Table::new(vec!["merge_width", "S+ fib cycles", "norm"]);
         for (i, &w) in points.iter().enumerate() {
@@ -677,6 +692,7 @@ pub fn ablations(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
             })
             .collect();
         let results = runner.run(&specs);
+        traced.extend_from_slice(&specs);
         let mut t = Table::new(vec!["hop_cycles", "S+ cycles", "WS+ cycles", "WS+/S+"]);
         for (i, &hop) in points.iter().enumerate() {
             let s = results[i * 2].cycles;
@@ -690,6 +706,7 @@ pub fn ablations(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
         }
         sink.table("ablation_hop_latency", &t);
     }
+    crate::trace::maybe_emit("ablations", &traced, opts);
 }
 
 /// Runs every experiment in sequence (the `all_experiments` binary),
@@ -711,7 +728,16 @@ pub fn all(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
         sink.blank();
         sink.line(format!("===== {name} ====="));
         sink.blank();
-        f(runner, opts, sink);
+        // Suffix the trace path per section so they don't overwrite
+        // each other (out.json -> out-fig08_cilk.json, ...).
+        let section_opts = Opts {
+            trace: opts
+                .trace
+                .as_deref()
+                .map(|p| crate::trace::section_path(p, name)),
+            ..opts.clone()
+        };
+        f(runner, &section_opts, sink);
     }
     sink.blank();
     sink.line("All experiments complete; CSVs in ./results/");

@@ -38,6 +38,7 @@ pub mod cli;
 pub mod figures;
 pub mod report;
 pub mod runner;
+pub mod trace;
 
 pub use report::{f2, mean, pct, ReportSink, Table};
 pub use runner::{Knobs, LitmusCase, RunSpec, Runner, Workload};

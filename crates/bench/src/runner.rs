@@ -240,15 +240,20 @@ impl RunSpec {
         s
     }
 
-    fn config(&self) -> MachineConfig {
+    fn config_with_trace(&self, trace: bool) -> MachineConfig {
         let mut b = MachineConfig::builder()
             .cores(self.cores)
             .fence_design(self.design)
-            .seed(self.seed);
+            .seed(self.seed)
+            .record_trace(trace);
         if let Workload::Litmus(_) = self.workload {
             b = b.watchdog_cycles(30_000).record_scv_log(true);
         }
         self.knobs.apply(b).build()
+    }
+
+    fn config(&self) -> MachineConfig {
+        self.config_with_trace(false)
     }
 
     /// Executes the spec on a freshly built [`Machine`]. Pure: equal
@@ -262,9 +267,29 @@ impl RunSpec {
     pub fn execute(&self) -> RunResult {
         let cfg = self.config();
         let mut m = Machine::new(&cfg);
+        self.run_machine(&mut m)
+    }
+
+    /// Executes the spec with the fence-lifecycle trace enabled and
+    /// returns the trace alongside the result. The [`RunResult`] is
+    /// identical to what [`RunSpec::execute`] produces: tracing is pure
+    /// observation.
+    ///
+    /// # Panics
+    ///
+    /// As [`RunSpec::execute`].
+    pub fn execute_traced(&self) -> (RunResult, TraceSink) {
+        let cfg = self.config_with_trace(true);
+        let mut m = Machine::new(&cfg);
+        let result = self.run_machine(&mut m);
+        let trace = m.take_trace().expect("record_trace was enabled");
+        (result, trace)
+    }
+
+    fn run_machine(&self, m: &mut Machine) -> RunResult {
         match self.workload {
             Workload::Cilk(app) => {
-                cilk::setup(&mut m, app, self.seed);
+                cilk::setup(m, app, self.seed);
                 let outcome = m.run(MAX_CYCLES);
                 assert_eq!(
                     outcome,
@@ -283,10 +308,10 @@ impl RunSpec {
                 }
             }
             Workload::Ustm { bench, window } => {
-                ustm::install(&mut m, bench, self.seed, None);
+                ustm::install(m, bench, self.seed, None);
                 let outcome = m.run(window);
                 assert_ne!(outcome, RunOutcome::Deadlocked, "{}: deadlock", bench.name());
-                let (commits, aborts) = tlrw::tally(&m);
+                let (commits, aborts) = tlrw::tally(m);
                 RunResult {
                     cycles: m.now(),
                     stats: m.stats(),
@@ -297,7 +322,7 @@ impl RunSpec {
                 }
             }
             Workload::Stamp(app) => {
-                stamp::install(&mut m, app, self.seed);
+                stamp::install(m, app, self.seed);
                 let outcome = m.run(MAX_CYCLES);
                 assert_eq!(
                     outcome,
@@ -306,7 +331,7 @@ impl RunSpec {
                     app.name(),
                     self.design
                 );
-                let (commits, aborts) = tlrw::tally(&m);
+                let (commits, aborts) = tlrw::tally(m);
                 RunResult {
                     cycles: m.now(),
                     stats: m.stats(),

@@ -65,6 +65,7 @@ fn filtered_figure_is_identical_at_any_worker_count() {
         quick: true,
         designs: Some(vec![FenceDesign::WsPlus]),
         filter: Some("fib".to_string()),
+        trace: None,
     };
     let mut serial = ReportSink::capture();
     figures::fig08(&silent(1), &opts, &mut serial);
@@ -76,6 +77,51 @@ fn filtered_figure_is_identical_at_any_worker_count() {
     // Only the requested designs appear as table rows (the word "Wee"
     // still shows up in the paper-reference notes).
     assert!(!serial.captured().contains("| Wee"));
+}
+
+/// Tracing is pure observation: running a whole figure with `--trace`
+/// set produces byte-identical report output (captured markdown and
+/// CSV) to the untraced run. The trace JSON itself goes to a side file
+/// and the histogram report to stderr, so neither can perturb results.
+#[test]
+fn traced_figure_output_is_identical_to_untraced() {
+    let plain = Opts {
+        quick: true,
+        designs: None,
+        filter: None,
+        trace: None,
+    };
+    let path = std::env::temp_dir().join(format!("asf-trace-det-{}.json", std::process::id()));
+    let traced = Opts {
+        trace: Some(path.to_string_lossy().into_owned()),
+        ..plain.clone()
+    };
+
+    let mut without = ReportSink::capture();
+    figures::litmus_matrix(&silent(2), &plain, &mut without);
+    let mut with = ReportSink::capture();
+    figures::litmus_matrix(&silent(2), &traced, &mut with);
+
+    assert_eq!(without.captured(), with.captured());
+    assert_eq!(without.csv("litmus_matrix"), with.csv("litmus_matrix"));
+    // The side file really was produced (and holds a Perfetto envelope),
+    // so the equality above is not vacuous.
+    let json = std::fs::read_to_string(&path).expect("--trace wrote the side file");
+    assert!(json.contains("\"traceEvents\""));
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Per-run form of the same guarantee: `execute_traced` returns exactly
+/// the statistics `execute` does, plus a non-empty trace.
+#[test]
+fn traced_run_statistics_match_untraced() {
+    let spec = RunSpec::ustm(UstmBench::Counter, FenceDesign::WPlus, 2, SEED, 40_000);
+    let plain = spec.execute();
+    let (traced, sink) = spec.execute_traced();
+    assert_eq!(plain.cycles, traced.cycles);
+    assert_eq!(plain.commits, traced.commits);
+    assert_eq!(plain.stats, traced.stats);
+    assert!(sink.recorded() > 0);
 }
 
 /// `MachineStats::merge` over real run statistics behaves like the

@@ -14,6 +14,8 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use asymfence_common::config::MachineConfig;
 use asymfence_common::ids::{Addr, BankId, CoreId, Cycle, LineAddr};
 use asymfence_common::stats::TrafficStats;
+use asymfence_common::trace::{TraceKind, TraceSink};
+use asymfence_common::trace_event;
 use asymfence_noc::{Mesh, Network};
 
 use crate::bypass::BypassSet;
@@ -174,6 +176,9 @@ pub struct MemSystem {
     next_token: Token,
     /// Monotone message counter feeding the perturbation draws.
     perturb_seq: u64,
+    /// Fence-lifecycle trace sink; `None` unless `record_trace` is set.
+    /// Pure observation — never read back by the protocol.
+    trace: Option<TraceSink>,
 }
 
 impl MemSystem {
@@ -213,6 +218,7 @@ impl MemSystem {
                 )
             })
             .collect();
+        let trace = cfg.record_trace.then(|| TraceSink::new(cfg.fence_design));
         MemSystem {
             cfg: cfg.clone(),
             ports,
@@ -222,7 +228,25 @@ impl MemSystem {
             local_seq: 0,
             next_token: 1,
             perturb_seq: 0,
+            trace,
         }
+    }
+
+    /// The trace sink, mutably, when `record_trace` is enabled.
+    ///
+    /// Core-side code emits its fence-lifecycle events through this.
+    pub fn trace_sink(&mut self) -> Option<&mut TraceSink> {
+        self.trace.as_mut()
+    }
+
+    /// The trace sink, if one is recording.
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.trace.as_ref()
+    }
+
+    /// Removes and returns the trace sink, ending recording.
+    pub fn take_trace(&mut self) -> Option<TraceSink> {
+        self.trace.take()
     }
 
     /// The configuration this memory system was built with.
@@ -253,6 +277,16 @@ impl MemSystem {
     fn send(&mut self, now: Cycle, src: usize, dst: usize, msg: Msg) {
         let bytes = msg_bytes(&msg, self.cfg.line_bytes);
         let retry = msg_is_retry(&msg);
+        if self.trace.is_some() {
+            let hops = self.net.mesh().hops(src, dst) as u16;
+            let label = msg.label();
+            trace_event!(
+                self.trace.as_mut(),
+                now,
+                CoreId(src),
+                TraceKind::NocHop { src: src as u16, dst: dst as u16, hops, msg: label }
+            );
+        }
         let p = self.cfg.perturb;
         let extra = if p.is_active() {
             self.perturb_seq += 1;
@@ -960,6 +994,15 @@ impl MemSystem {
         } else {
             L1State::E
         };
+        if order_completion {
+            let conditional = self.ports[core].order_mode == OrderMode::CondOrder;
+            trace_event!(
+                self.trace.as_mut(),
+                now,
+                CoreId(core),
+                TraceKind::OrderComplete { line, conditional }
+            );
+        }
         self.fill_line(now, core, line, state, data);
         let done_ev = match ps.kind {
             StoreKind::Plain => MemEvent::StoreDone { token: ps.token },
@@ -1027,7 +1070,15 @@ impl MemSystem {
                 port.counters.writes_bounced += 1;
             }
             port.counters.bounce_retries += 1;
-            ps.token
+            let attempt = ps.attempt;
+            let token = ps.token;
+            trace_event!(
+                self.trace.as_mut(),
+                now,
+                CoreId(core),
+                TraceKind::StoreBounce { line, attempt }
+            );
+            token
         };
         self.ports[core]
             .events
@@ -1040,6 +1091,12 @@ impl MemSystem {
     }
 
     fn handle_busy_nack(&mut self, now: Cycle, core: usize, line: LineAddr) {
+        trace_event!(
+            self.trace.as_mut(),
+            now,
+            CoreId(core),
+            TraceKind::DirNack { line }
+        );
         let is_store = self.ports[core]
             .pending_stores
             .get(&line)
@@ -1065,6 +1122,12 @@ impl MemSystem {
         if m.line_match && order == OrderMode::None {
             // Bounce: keep the cached copy, reject the write.
             self.ports[core].bs.note_bounce();
+            trace_event!(
+                self.trace.as_mut(),
+                now,
+                CoreId(core),
+                TraceKind::BsHit { line }
+            );
             self.send(
                 now,
                 core,

@@ -239,6 +239,32 @@ pub enum Msg {
     },
 }
 
+impl Msg {
+    /// Short static name of the message kind, for trace labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Msg::GetS { .. } => "GetS",
+            Msg::GetX { .. } => "GetX",
+            Msg::PutM { .. } => "PutM",
+            Msg::GrtDepositAndRead { .. } => "GrtDepositAndRead",
+            Msg::GrtRead { .. } => "GrtRead",
+            Msg::GrtRemove { .. } => "GrtRemove",
+            Msg::Unblock { .. } => "Unblock",
+            Msg::DataS { .. } => "DataS",
+            Msg::DataE { .. } => "DataE",
+            Msg::DataM { .. } => "DataM",
+            Msg::OrderDone { .. } => "OrderDone",
+            Msg::NackBounce { .. } => "NackBounce",
+            Msg::NackBusy { .. } => "NackBusy",
+            Msg::GrtReply { .. } => "GrtReply",
+            Msg::Inv { .. } => "Inv",
+            Msg::FetchDowngrade { .. } => "FetchDowngrade",
+            Msg::InvAck { .. } => "InvAck",
+            Msg::DowngradeAck { .. } => "DowngradeAck",
+        }
+    }
+}
+
 /// Byte-size model for traffic accounting: 8 B header + 8 B address, plus
 /// 8 B per carried word and the full line for data messages.
 pub fn msg_bytes(msg: &Msg, line_bytes: u64) -> u64 {

@@ -221,6 +221,10 @@ pub struct MachineConfig {
     pub watchdog_cycles: u64,
     /// Whether to keep the perform-order log needed by the SCV checker.
     pub record_scv_log: bool,
+    /// Whether to attach a fence-lifecycle trace sink
+    /// ([`crate::trace::TraceSink`]). Pure observation: enabling it
+    /// never changes simulation results.
+    pub record_trace: bool,
     /// RNG seed threaded to workloads for deterministic runs.
     pub seed: u64,
     /// Deterministic timing perturbations (off by default).
@@ -253,6 +257,7 @@ impl Default for MachineConfig {
             w_timeout_cycles: 200,
             watchdog_cycles: 200_000,
             record_scv_log: false,
+            record_trace: false,
             seed: 0xA5F0_2015,
             perturb: Perturbation::default(),
         }
@@ -446,6 +451,12 @@ impl MachineConfigBuilder {
     /// Enables or disables the SCV perform-order log.
     pub fn record_scv_log(mut self, on: bool) -> Self {
         self.cfg.record_scv_log = on;
+        self
+    }
+
+    /// Enables or disables the fence-lifecycle trace sink.
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.cfg.record_trace = on;
         self
     }
 

@@ -2,10 +2,11 @@
 //!
 //! This crate holds the types that every layer of the stack speaks:
 //! addresses and identifiers ([`ids`]), the machine configuration
-//! ([`config`]), statistics counters ([`stats`]), a deterministic RNG
-//! ([`rng`]), a hermetic property-testing harness ([`prop`]), scoped
-//! worker-pool parallelism for deterministic sweeps ([`par`]) and small
-//! utility containers ([`queue`]).
+//! ([`config`]), statistics counters ([`stats`]), deterministic
+//! fence-lifecycle tracing ([`trace`]), a deterministic RNG ([`rng`]), a
+//! hermetic property-testing harness ([`prop`]), scoped worker-pool
+//! parallelism for deterministic sweeps ([`par`]) and small utility
+//! containers ([`queue`]).
 //!
 //! # Examples
 //!
@@ -20,6 +21,8 @@
 //! assert_eq!(line.base(cfg.line_bytes).raw(), 0x1040);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod config;
 pub mod ids;
 pub mod par;
@@ -28,9 +31,11 @@ pub mod queue;
 pub mod rng;
 pub mod scvlog;
 pub mod stats;
+pub mod trace;
 
 pub use config::{FenceDesign, MachineConfig, MachineConfigBuilder, Perturbation};
 pub use ids::{Addr, BankId, CoreId, Cycle, LineAddr, WordIdx};
 pub use rng::SimRng;
 pub use scvlog::{ScvEvent, ScvLog};
-pub use stats::{CoreStats, MachineStats, StallKind};
+pub use stats::{CoreStats, DerivedStats, MachineStats, StallKind};
+pub use trace::{FenceClass, FenceSpan, FenceTally, TraceEvent, TraceKind, TraceSink};

@@ -246,6 +246,78 @@ impl MachineStats {
     pub fn instrs_retired(&self) -> u64 {
         self.aggregate().instrs_retired
     }
+
+    /// Derived per-design-feature metrics (see [`DerivedStats`]); the
+    /// ratios Table 4 and EXPERIMENTS.md cite, computed in one place.
+    pub fn derived(&self) -> DerivedStats {
+        let a = self.aggregate();
+        let fences = a.sf_count + a.wf_count;
+        let active = a.busy_cycles + a.fence_stall_cycles + a.other_stall_cycles;
+        let ratio = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+        DerivedStats {
+            fence_stall_fraction: ratio(a.fence_stall_cycles, active),
+            fence_stall_per_fence: ratio(a.fence_stall_cycles, fences),
+            fences_per_kilo_instr: a.fences_per_kilo_instr(),
+            weak_fence_fraction: ratio(a.wf_count, fences),
+            bs_lines_per_wf: a.avg_bs_lines(),
+            bounces_per_wf: ratio(a.writes_bounced, a.wf_count),
+            retries_per_bounced_write: ratio(a.bounce_retries, a.writes_bounced),
+            order_ops_per_wf: ratio(a.order_ops, a.wf_count),
+            cond_order_failure_rate: ratio(
+                a.cond_order_failures,
+                a.cond_order_failures + a.cond_order_successes,
+            ),
+            recoveries_per_wf: ratio(a.recoveries, a.wf_count),
+            demotion_fraction: ratio(a.wee_demotions, fences + a.wee_demotions),
+            remote_ps_stalls_per_wf: ratio(a.remote_ps_stalls, a.wf_count),
+            early_retired_load_fraction: ratio(a.early_retired_loads, a.loads),
+            retry_traffic_pct: self.traffic.retry_increase_pct(),
+        }
+    }
+}
+
+/// Stall-cycle attribution per design feature, derived from a
+/// [`MachineStats`] by [`MachineStats::derived`].
+///
+/// Each field isolates the cost or benefit of one mechanism of the
+/// paper's designs, so an experiment writeup can cite "what the weak
+/// fence bought" or "what the bounce protocol cost" without re-deriving
+/// ratios from raw counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DerivedStats {
+    /// Fraction of non-idle core cycles stalled on fences (the paper's
+    /// Figures 8/10/11 fence-stall share).
+    pub fence_stall_fraction: f64,
+    /// Mean fence-stall cycles per executed fence: the per-episode cost
+    /// a weak fence must hide.
+    pub fence_stall_per_fence: f64,
+    /// Fences per 1000 retired instructions (Table 4).
+    pub fences_per_kilo_instr: f64,
+    /// Fraction of executed fences that stayed weak.
+    pub weak_fence_fraction: f64,
+    /// Average distinct Bypass-Set lines at wf completion (Table 4).
+    pub bs_lines_per_wf: f64,
+    /// Writes bounced per weak fence (Table 4).
+    pub bounces_per_wf: f64,
+    /// Retries per bounced write (Table 4).
+    pub retries_per_bounced_write: f64,
+    /// WS+/SW+ Order transactions per weak fence (the escape valve rate).
+    pub order_ops_per_wf: f64,
+    /// Fraction of Conditional-Order attempts that failed on true
+    /// sharing (SW+ only).
+    pub cond_order_failure_rate: f64,
+    /// W+ rollback recoveries per weak fence (Table 4).
+    pub recoveries_per_wf: f64,
+    /// Fraction of Wee fences demoted to conventional (Table 4's wf→sf
+    /// conversions).
+    pub demotion_fraction: f64,
+    /// Wee RemotePS stall events per weak fence.
+    pub remote_ps_stalls_per_wf: f64,
+    /// Fraction of loads that retired early past a weak fence — the
+    /// reordering the designs exist to allow.
+    pub early_retired_load_fraction: f64,
+    /// Percentage traffic increase from bounce retries (Table 4).
+    pub retry_traffic_pct: f64,
 }
 
 impl fmt::Display for MachineStats {

@@ -49,6 +49,8 @@
 //! assert_ne!((ra.borrow()[&1], rb.borrow()[&1]), (0, 0));
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod machine;
 pub mod placement;
 pub mod scv;
@@ -70,7 +72,10 @@ pub mod prelude {
     };
     pub use asymfence_common::ids::{Addr, CoreId, Cycle, LineAddr};
     pub use asymfence_common::rng::SimRng;
-    pub use asymfence_common::stats::{CoreStats, MachineStats};
+    pub use asymfence_common::stats::{CoreStats, DerivedStats, MachineStats};
+    pub use asymfence_common::trace::{
+        FenceClass, FenceSpan, FenceTally, TraceEvent, TraceKind, TraceSink,
+    };
     pub use asymfence_cpu::program::{
         Fetch, FenceRole, Instr, Registers, ScriptProgram, ThreadProgram,
     };

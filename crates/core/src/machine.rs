@@ -1,7 +1,7 @@
 //! The simulated machine: cores + memory hierarchy + watchdog.
 //!
-//! [`Machine`] assembles one [`Core`](asymfence_cpu::Core) per thread on
-//! top of a shared [`MemSystem`](asymfence_coherence::MemSystem) and runs
+//! [`Machine`] assembles one [`Core`] per thread on
+//! top of a shared [`MemSystem`] and runs
 //! them cycle by cycle. It merges the statistics the paper's evaluation
 //! reports and detects global deadlock (which only the deliberately
 //! unprotected `WfOnlyUnsafe` design — or a mis-grouped WS+ program — can
@@ -12,6 +12,7 @@ use asymfence_common::config::MachineConfig;
 use asymfence_common::ids::{Addr, CoreId, Cycle};
 use asymfence_common::scvlog::ScvLog;
 use asymfence_common::stats::MachineStats;
+use asymfence_common::trace::TraceSink;
 use asymfence_cpu::program::{Fetch, ThreadProgram};
 use asymfence_cpu::Core;
 
@@ -196,6 +197,19 @@ impl Machine {
     /// The SCV perform-order log (if `record_scv_log` was enabled).
     pub fn scv_log(&self) -> Option<&ScvLog> {
         self.scv_log.as_ref()
+    }
+
+    /// The fence-lifecycle trace (if `record_trace` was enabled).
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.mem.trace()
+    }
+
+    /// Removes and returns the fence-lifecycle trace, ending recording.
+    ///
+    /// Useful after a run to export or attach the trace without keeping
+    /// the machine alive.
+    pub fn take_trace(&mut self) -> Option<TraceSink> {
+        self.mem.take_trace()
     }
 
     /// The program running on `core` (for reading results after a run).

@@ -29,6 +29,8 @@ use asymfence_common::config::{FenceDesign, MachineConfig};
 use asymfence_common::ids::{Addr, CoreId, Cycle, LineAddr};
 use asymfence_common::scvlog::ScvLog;
 use asymfence_common::stats::{CoreStats, StallKind};
+use asymfence_common::trace::{FenceClass, TraceKind};
+use asymfence_common::trace_event;
 
 use crate::program::{Fetch, FenceRole, Instr, ThreadProgram};
 
@@ -398,7 +400,23 @@ impl Core {
     fn finish_fence(&mut self, now: Cycle, mem: &mut MemSystem, f: ActiveFence) {
         self.stats.bs_lines_sum += mem.bs_distinct_lines(self.id) as u64;
         self.completed_fence_serial = f.serial;
+        let bs_before = mem.bs_len(self.id) as u32;
         mem.bs_clear_completed(self.id, f.serial);
+        let evicted = bs_before - mem.bs_len(self.id) as u32;
+        if evicted > 0 {
+            trace_event!(
+                mem.trace_sink(),
+                now,
+                self.id,
+                TraceKind::BsEvict { entries: evicted }
+            );
+        }
+        trace_event!(
+            mem.trace_sink(),
+            now,
+            self.id,
+            TraceKind::FenceComplete { serial: f.serial }
+        );
         if let Some(bank) = f.grt_bank {
             mem.wee_unregister(now, self.id, bank, f.serial);
         }
@@ -461,6 +479,12 @@ impl Core {
                                     self.stats.bs_overflows += 1;
                                     break;
                                 }
+                                trace_event!(
+                                    mem.trace_sink(),
+                                    now,
+                                    self.id,
+                                    TraceKind::BsInsert { line }
+                                );
                                 self.stats.early_retired_loads += 1;
                             }
                             LoadGate::Stall => break,
@@ -568,6 +592,12 @@ impl Core {
                             // Wee: Pending Set spans several directory
                             // banks; the fence becomes conventional.
                             self.stats.wee_demotions += 1;
+                            trace_event!(
+                                mem.trace_sink(),
+                                now,
+                                self.id,
+                                TraceKind::FenceDemote { serial }
+                            );
                             if let Some(RobEntry {
                                 kind: RobKind::Fence { kind, .. },
                                 ..
@@ -628,6 +658,12 @@ impl Core {
                 }
                 self.stats.sf_count += 1;
                 self.completed_fence_serial = serial;
+                trace_event!(
+                    mem.trace_sink(),
+                    now,
+                    self.id,
+                    TraceKind::FenceComplete { serial }
+                );
                 FenceStep::Retire
             }
             HwFence::Weak => {
@@ -654,6 +690,12 @@ impl Core {
                 if ps.is_empty() {
                     // Nothing pending: completes immediately, stays weak.
                     self.completed_fence_serial = serial;
+                    trace_event!(
+                        mem.trace_sink(),
+                        now,
+                        self.id,
+                        TraceKind::FenceComplete { serial }
+                    );
                     return FenceStep::Retire;
                 }
                 let bank = banks[0];
@@ -666,7 +708,7 @@ impl Core {
 
     fn activate_weak_fence(
         &mut self,
-        _now: Cycle,
+        now: Cycle,
         mem: &mut MemSystem,
         serial: u64,
         grt_bank: Option<usize>,
@@ -675,6 +717,12 @@ impl Core {
         if self.completed_store_serial >= watermark && grt_bank.is_none() {
             // No pending pre-fence stores: already complete.
             self.completed_fence_serial = serial;
+            trace_event!(
+                mem.trace_sink(),
+                now,
+                self.id,
+                TraceKind::FenceComplete { serial }
+            );
             if matches!(self.design, FenceDesign::WsPlus | FenceDesign::SwPlus) {
                 self.orderable_wfs = self.orderable_wfs.saturating_sub(1);
                 mem.set_order_mode(self.id, self.order_mode());
@@ -824,9 +872,15 @@ impl Core {
         }
     }
 
-    fn rollback(&mut self, _now: Cycle, mem: &mut MemSystem, scv: &mut Option<&mut ScvLog>) {
+    fn rollback(&mut self, now: Cycle, mem: &mut MemSystem, scv: &mut Option<&mut ScvLog>) {
         let cp = self.checkpoints.pop_front().expect("checkpoint present");
         self.stats.recoveries += 1;
+        trace_event!(
+            mem.trace_sink(),
+            now,
+            self.id,
+            TraceKind::Rollback { serial: cp.fence_serial }
+        );
         // The rolled-back accesses architecturally never happened.
         if let Some(log) = scv.as_deref_mut() {
             log.retract(self.id.0, cp.seq);
@@ -926,6 +980,17 @@ impl Core {
                 let serial = self.next_fence_serial;
                 self.next_fence_serial += 1;
                 self.last_fence_serial = serial;
+                let class = match kind {
+                    HwFence::Strong => FenceClass::Strong,
+                    HwFence::Weak => FenceClass::Weak,
+                    HwFence::WeeWeak => FenceClass::WeeWeak,
+                };
+                trace_event!(
+                    mem.trace_sink(),
+                    now,
+                    self.id,
+                    TraceKind::FenceIssue { serial, class }
+                );
                 if kind == HwFence::Weak {
                     if matches!(self.design, FenceDesign::WsPlus | FenceDesign::SwPlus) {
                         // "If the core then executes a wf, set the O bit of
@@ -939,6 +1004,12 @@ impl Core {
                             seq: self.instr_seq,
                             program: self.program.snapshot(),
                         });
+                        trace_event!(
+                            mem.trace_sink(),
+                            now,
+                            self.id,
+                            TraceKind::Checkpoint { serial }
+                        );
                     }
                 }
                 RobKind::Fence { kind, serial }

@@ -35,11 +35,25 @@ fn parse_scenario(s: &str) -> Option<Scenario> {
 }
 
 const USAGE: &str = "usage: explore --scenario <sb-unfenced|sb-fenced|sb-padded|3cycle> \
-  --design <S+|WS+|SW+|W+|Wee|unsafe|all> [--seeds N] [--seed N] [--jobs N]\n\
+  --design <S+|WS+|SW+|W+|Wee|unsafe|all> [--seeds N] [--seed N] [--jobs N] [--trace PATH]\n\
   --seeds N   sweep seed indices 0..N (default 256; seed 0 = natural schedule)\n\
   --seed N    replay exactly one seed instead of sweeping\n\
   --jobs N    sweep worker threads (default: ASF_JOBS, then all cores);\n\
-              reports are identical at any worker count";
+              reports are identical at any worker count\n\
+  --trace PATH  on a violation, write the failing run's fence trace as\n\
+              Perfetto-loadable JSON (suffixed per design)";
+
+/// Writes a counterexample's trace next to `path`, suffixed with the
+/// design so `--design all` runs don't overwrite each other. Returns
+/// the path written.
+fn write_trace(path: &str, design: FenceDesign, json: &str) -> std::io::Result<String> {
+    let p = match path.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() => format!("{stem}-{design:?}.{ext}"),
+        _ => format!("{path}-{design:?}"),
+    };
+    std::fs::write(&p, json)?;
+    Ok(p)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +62,7 @@ fn main() -> ExitCode {
     let mut cfg = ExploreConfig::default();
     let mut single_seed = None;
     let mut jobs = 0;
+    let mut trace_path: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -88,6 +103,13 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--trace" => match need(i) {
+                Some(p) => trace_path = Some(p.clone()),
+                None => {
+                    eprintln!("--trace needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -114,6 +136,14 @@ fn main() -> ExitCode {
                 None => println!("{design:?} seed {seed}: clean"),
                 Some(f) => {
                     println!("{design:?} seed {seed}: FAILED\n{f}");
+                    if let Some(path) = &trace_path {
+                        if let Some(sink) = ex.run_seed_traced(&sc, design, seed) {
+                            match write_trace(path, design, &sink.chrome_json()) {
+                                Ok(p) => println!("fence trace written to {p}"),
+                                Err(e) => eprintln!("cannot write trace to {path}: {e}"),
+                            }
+                        }
+                    }
                     dirty = true;
                 }
             }
@@ -127,6 +157,15 @@ fn main() -> ExitCode {
             ),
             Some(cex) => {
                 println!("{design:?}: VIOLATION after {} runs\n{cex}", report.runs);
+                if let Some(path) = &trace_path {
+                    match &cex.trace {
+                        Some(sink) => match write_trace(path, design, &sink.chrome_json()) {
+                            Ok(p) => println!("fence trace written to {p}"),
+                            Err(e) => eprintln!("cannot write trace to {path}: {e}"),
+                        },
+                        None => eprintln!("minimized run left no trace (did not re-fail)"),
+                    }
+                }
                 dirty = true;
             }
         }

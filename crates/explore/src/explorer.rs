@@ -15,7 +15,7 @@
 
 use std::fmt;
 
-use asymfence::prelude::{scv, FenceDesign, Machine, Perturbation, RunOutcome};
+use asymfence::prelude::{scv, FenceDesign, Machine, Perturbation, RunOutcome, TraceSink};
 use asymfence_common::par;
 
 use crate::scenario::Scenario;
@@ -120,6 +120,11 @@ pub struct Counterexample {
     pub scenario: Scenario,
     /// What the oracle saw.
     pub failure: Failure,
+    /// Fence-lifecycle trace of the minimized failing run: the exact
+    /// fence episodes around the violation, ready for
+    /// [`TraceSink::chrome_json`]. `None` only if the minimized run
+    /// unexpectedly stopped failing on replay.
+    pub trace: Option<TraceSink>,
 }
 
 impl fmt::Display for Counterexample {
@@ -210,6 +215,34 @@ impl Explorer {
         scv::find_cycle(log).map(|cycle| Failure::Scv {
             report: scv::describe_cycle(log, &cycle),
         })
+    }
+
+    /// Replays one seed with the fence-lifecycle trace attached and
+    /// returns the trace if the run still fails the oracle. Perturbation
+    /// replay is bit-identical and tracing is pure observation, so a
+    /// failing seed re-fails here; `None` guards against an impossible
+    /// divergence rather than an expected path.
+    pub fn run_seed_traced(
+        &self,
+        scenario: &Scenario,
+        design: FenceDesign,
+        seed: u64,
+    ) -> Option<TraceSink> {
+        let mut m: Machine = scenario.machine_traced(
+            design,
+            self.cfg.perturbation(seed),
+            self.cfg.watchdog_cycles,
+        );
+        let failed = match m.run(self.cfg.max_cycles) {
+            RunOutcome::Deadlocked | RunOutcome::CycleLimit => true,
+            RunOutcome::Finished => {
+                let log = m
+                    .scv_log()
+                    .expect("explorer machines always record the SCV log");
+                scv::find_cycle(log).is_some()
+            }
+        };
+        failed.then(|| m.take_trace().expect("record_trace was enabled"))
     }
 
     /// Sweeps `0..cfg.seeds`; on the lowest failing seed, shrinks it and
@@ -324,6 +357,11 @@ impl Explorer {
 
         let spent = self.cfg.max_shrink_runs - runs_left;
         let (scenario, seed, failure) = cur;
+        // Replay the minimized failure once with the trace on so the
+        // counterexample carries the exact fence episodes around the
+        // violation. Not charged against `runs`: it is a presentation
+        // replay, not part of the search.
+        let trace = self.run_seed_traced(&scenario, design, seed);
         (
             Counterexample {
                 design,
@@ -331,6 +369,7 @@ impl Explorer {
                 found_seed,
                 scenario,
                 failure,
+                trace,
             },
             spent,
         )

@@ -5,6 +5,8 @@
 //! data-only — rather than boxed [`ThreadProgram`]s — is what makes
 //! shrinking possible: the explorer can drop threads and instructions,
 //! rebuild programs, and re-run, all deterministically.
+//!
+//! [`ThreadProgram`]: asymfence::prelude::ThreadProgram
 
 use std::fmt;
 
@@ -86,10 +88,33 @@ impl Scenario {
         perturb: Perturbation,
         watchdog_cycles: u64,
     ) -> Machine {
+        self.build_machine(design, perturb, watchdog_cycles, false)
+    }
+
+    /// As [`Scenario::machine`], with the fence-lifecycle trace sink
+    /// attached. The explorer uses this to replay a shrunk failing seed
+    /// and attach the trace to its [`Counterexample`](crate::Counterexample).
+    pub fn machine_traced(
+        &self,
+        design: FenceDesign,
+        perturb: Perturbation,
+        watchdog_cycles: u64,
+    ) -> Machine {
+        self.build_machine(design, perturb, watchdog_cycles, true)
+    }
+
+    fn build_machine(
+        &self,
+        design: FenceDesign,
+        perturb: Perturbation,
+        watchdog_cycles: u64,
+        trace: bool,
+    ) -> Machine {
         let cfg = MachineConfig::builder()
             .cores(self.threads.len().max(2))
             .fence_design(design)
             .record_scv_log(true)
+            .record_trace(trace)
             .watchdog_cycles(watchdog_cycles)
             .perturb(perturb)
             .build();

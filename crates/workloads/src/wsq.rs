@@ -10,7 +10,7 @@
 //! WS+/SW+) and the thief's is `NonCritical` (strong).
 //!
 //! The protocol pieces are written as poll-driven micro state machines
-//! over [`Ops`](crate::ops::Ops) so workloads can embed them.
+//! over [`Ops`] so workloads can embed them.
 
 use asymfence::prelude::{Addr, FenceRole, RmwKind};
 
