@@ -29,7 +29,7 @@ echo "== parallel harness smoke (jobs=2 == jobs=1, byte-for-byte) =="
 # count; run the full quick grid serially and with two workers and diff.
 if [ "$QUICK" != "quick" ]; then
   SMOKE="$(mktemp -d)"
-  trap 'rm -rf "$SMOKE"' EXIT
+  trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}"' EXIT
   for jobs in 1 2; do
     mkdir -p "$SMOKE/j$jobs"
     ( cd "$SMOKE/j$jobs" && \
@@ -38,6 +38,23 @@ if [ "$QUICK" != "quick" ]; then
   done
   diff -u "$SMOKE/j1/stdout.txt" "$SMOKE/j2/stdout.txt"
   diff -r "$SMOKE/j1/results" "$SMOKE/j2/results"
+fi
+
+echo "== synthesis smoke (--quick, jobs=2 == jobs=1, byte-for-byte) =="
+# The fence-assignment search must be deterministic at any worker count:
+# run the quick synthesis report serially and with two workers and diff
+# stdout and the emitted CSVs.
+if [ "$QUICK" != "quick" ]; then
+  SYNTH="$(mktemp -d)"
+  trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}"' EXIT
+  for jobs in 1 2; do
+    mkdir -p "$SYNTH/j$jobs"
+    ( cd "$SYNTH/j$jobs" && \
+      ASF_PROGRESS=0 "$OLDPWD/target/release/synth" --quick --jobs $jobs \
+        > stdout.txt )
+  done
+  diff -u "$SYNTH/j1/stdout.txt" "$SYNTH/j2/stdout.txt"
+  diff -r "$SYNTH/j1/results" "$SYNTH/j2/results"
 fi
 
 echo "== explorer smoke sweep =="

@@ -315,6 +315,7 @@ pub fn fig12(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
                         cores,
                         seed: SEED,
                         knobs: Knobs::default(),
+                        assignment: None,
                     });
                 }
             }
@@ -416,6 +417,7 @@ pub fn table4(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
                     cores,
                     seed: SEED,
                     knobs: Knobs::default(),
+                    assignment: None,
                 });
             }
         }

@@ -41,7 +41,7 @@ pub mod runner;
 pub mod trace;
 
 pub use report::{f2, mean, pct, ReportSink, Table};
-pub use runner::{Knobs, LitmusCase, RunSpec, Runner, Workload};
+pub use runner::{Knobs, LitmusCase, RunSpec, Runner, SiteMask, Workload};
 
 /// Designs compared in the figures, in the paper's order.
 pub const DESIGNS: [FenceDesign; 4] = [

@@ -22,9 +22,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use asymfence::prelude::*;
+use asymfence_common::assign::FenceAssignment;
 use asymfence_common::par;
 use asymfence_workloads::cilk::{self, CilkApp};
 use asymfence_workloads::litmus;
+use asymfence_workloads::sites::SiteBench;
 use asymfence_workloads::stamp::{self, StampApp};
 use asymfence_workloads::tlrw;
 use asymfence_workloads::ustm::{self, UstmBench};
@@ -92,6 +94,11 @@ pub enum Workload {
     Stamp(StampApp),
     /// A litmus scenario with outcome/SCV checking (Figures 1/3/4).
     Litmus(LitmusCase),
+    /// A synthesis benchmark with per-site fence assignments (the
+    /// [`sites`](asymfence_workloads::sites) drivers). Outcome and SCV
+    /// status are *recorded*, never asserted: candidate assignments under
+    /// search are allowed to deadlock or violate SC.
+    Sites(SiteBench),
 }
 
 impl Workload {
@@ -107,7 +114,28 @@ impl Workload {
                 LitmusCase::ThreeThreadCycle { .. } => "3cycle".into(),
                 LitmusCase::FalseSharingPair { .. } => "false-sharing".into(),
             },
+            Workload::Sites(bench) => bench.name().to_string(),
         }
+    }
+}
+
+/// A per-site fence-strength assignment as plain `Copy` data: bit `i` of
+/// `weak` makes site `i` weak (wf), clear bits stay strong (sf). Site ids
+/// are the contiguous `0..n_sites` every synthesis benchmark uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SiteMask {
+    /// Number of fence sites covered by the mask.
+    pub n_sites: u32,
+    /// Bit `i` set ⇒ site `i` resolves to the design's weak fence.
+    pub weak: u64,
+}
+
+impl SiteMask {
+    /// Expands the mask into the [`FenceAssignment`] the machine config
+    /// consumes.
+    pub fn to_assignment(self) -> FenceAssignment {
+        let sites: Vec<u32> = (0..self.n_sites).collect();
+        FenceAssignment::from_weak_mask(&sites, self.weak)
     }
 }
 
@@ -165,6 +193,9 @@ pub struct RunSpec {
     pub seed: u64,
     /// Ablation config overrides.
     pub knobs: Knobs,
+    /// Per-site fence-strength override. `None` keeps the role-based
+    /// mapping, which leaves every pre-existing figure byte-identical.
+    pub assignment: Option<SiteMask>,
 }
 
 impl RunSpec {
@@ -176,6 +207,7 @@ impl RunSpec {
             cores,
             seed,
             knobs: Knobs::default(),
+            assignment: None,
         }
     }
 
@@ -193,6 +225,7 @@ impl RunSpec {
             cores,
             seed,
             knobs: Knobs::default(),
+            assignment: None,
         }
     }
 
@@ -204,6 +237,7 @@ impl RunSpec {
             cores,
             seed,
             knobs: Knobs::default(),
+            assignment: None,
         }
     }
 
@@ -215,7 +249,27 @@ impl RunSpec {
             cores: case.cores(),
             seed,
             knobs: Knobs::default(),
+            assignment: None,
         }
+    }
+
+    /// A synthesis-benchmark spec (core count comes from the benchmark).
+    pub fn sites(bench: SiteBench, design: FenceDesign, seed: u64) -> Self {
+        RunSpec {
+            workload: Workload::Sites(bench),
+            design,
+            cores: bench.cores(),
+            seed,
+            knobs: Knobs::default(),
+            assignment: None,
+        }
+    }
+
+    /// Replaces the per-site fence assignment.
+    #[must_use]
+    pub fn with_assignment(mut self, mask: SiteMask) -> Self {
+        self.assignment = Some(mask);
+        self
     }
 
     /// Replaces the config knobs.
@@ -237,6 +291,9 @@ impl RunSpec {
         if !self.knobs.is_default() {
             s.push_str("/knobs");
         }
+        if let Some(mask) = self.assignment {
+            s.push_str(&format!("/wf{:b}", mask.weak));
+        }
         s
     }
 
@@ -249,7 +306,14 @@ impl RunSpec {
         if let Workload::Litmus(_) = self.workload {
             b = b.watchdog_cycles(30_000).record_scv_log(true);
         }
-        self.knobs.apply(b).build()
+        if let Workload::Sites(_) = self.workload {
+            b = b.watchdog_cycles(60_000).record_scv_log(true);
+        }
+        let mut cfg = self.knobs.apply(b).build();
+        if let Some(mask) = self.assignment {
+            cfg.fence_assignment = Some(mask.to_assignment());
+        }
+        cfg
     }
 
     fn config(&self) -> MachineConfig {
@@ -344,6 +408,22 @@ impl RunSpec {
             Workload::Litmus(case) => {
                 let (progs, _regs) = case.setup();
                 for p in progs {
+                    m.add_thread(p);
+                }
+                let outcome = m.run(50_000_000);
+                let scv = m.scv_log().map(scv::has_violation).unwrap_or(false);
+                RunResult {
+                    cycles: m.now(),
+                    stats: m.stats(),
+                    commits: 0,
+                    aborts: 0,
+                    outcome,
+                    scv,
+                }
+            }
+            Workload::Sites(bench) => {
+                let cfg = m.config().clone();
+                for p in bench.programs(&cfg, self.seed) {
                     m.add_thread(p);
                 }
                 let outcome = m.run(50_000_000);

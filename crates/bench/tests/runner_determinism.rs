@@ -7,8 +7,9 @@
 
 use asymfence::prelude::FenceDesign;
 use asymfence_bench::cli::Opts;
-use asymfence_bench::{figures, ReportSink, RunSpec, Runner, SEED};
+use asymfence_bench::{figures, ReportSink, RunSpec, Runner, SiteMask, SEED};
 use asymfence_workloads::cilk::CilkApp;
+use asymfence_workloads::sites::SiteBench;
 use asymfence_workloads::ustm::UstmBench;
 
 fn silent(jobs: usize) -> Runner {
@@ -122,6 +123,27 @@ fn traced_run_statistics_match_untraced() {
     assert_eq!(plain.commits, traced.commits);
     assert_eq!(plain.stats, traced.stats);
     assert!(sink.recorded() > 0);
+}
+
+/// Per-site assignments are a pure override layer: installing the
+/// explicit mask the role mapping would produce anyway gives exactly the
+/// run the role mapping gives (cycles, stats, outcome). This pins the
+/// satellite guarantee that the `FenceSite` promotion leaves every
+/// role-mapped run — including the figure grids, which never install an
+/// assignment — untouched.
+#[test]
+fn explicit_paper_equivalent_assignment_matches_role_mapping() {
+    // Under WS+, Critical is weak: wsq's owner fence (site 0 of 2) and
+    // dekker's hot entry fence (site 0 of 4).
+    for (bench, n_sites, weak) in [(SiteBench::Wsq, 2, 0b01), (SiteBench::Dekker, 4, 0b0001)] {
+        let by_role = RunSpec::sites(bench, FenceDesign::WsPlus, SEED).execute();
+        let explicit = RunSpec::sites(bench, FenceDesign::WsPlus, SEED)
+            .with_assignment(SiteMask { n_sites, weak })
+            .execute();
+        assert_eq!(by_role.cycles, explicit.cycles, "{}", bench.name());
+        assert_eq!(by_role.outcome, explicit.outcome, "{}", bench.name());
+        assert_eq!(by_role.stats, explicit.stats, "{}", bench.name());
+    }
 }
 
 /// `MachineStats::merge` over real run statistics behaves like the

@@ -1,0 +1,250 @@
+//! Per-site fence-strength assignments and synthesis search statistics.
+//!
+//! A [`FenceAssignment`] maps *static fence sites* (raw `u32` ids; the
+//! cpu crate wraps them in its `FenceSite` newtype) to an explicit
+//! [`SiteStrength`]. When a machine config carries an assignment, the
+//! core consults it at fence dispatch **before** the design's role-based
+//! mapping; sites the assignment does not mention — and every anonymous
+//! site — fall through to the role mapping, so an absent or empty
+//! assignment reproduces the pre-assignment behaviour bit for bit.
+//!
+//! Assignments are plain ordered data: two assignments compare equal
+//! independently of insertion order, and [`FenceAssignment::key`] is a
+//! stable 64-bit encoding used to memoize oracle/scoring runs in the
+//! synthesis engine.
+//!
+//! # Examples
+//!
+//! ```
+//! use asymfence_common::assign::{FenceAssignment, SiteStrength};
+//!
+//! let a = FenceAssignment::from_weak_mask(&[0, 1, 2], 0b101);
+//! assert_eq!(a.strength(0), Some(SiteStrength::Weak));
+//! assert_eq!(a.strength(1), Some(SiteStrength::Strong));
+//! assert_eq!(a.weak_count(), 2);
+//! assert_eq!(a.label(), "wf@{0,2}");
+//! assert_eq!(a.strength(9), None, "unmentioned sites use the role mapping");
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::rng::mix64;
+
+/// The hardware strength chosen for one fence site.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SiteStrength {
+    /// Weak fence (`wf`): post-fence accesses may complete early.
+    Weak,
+    /// Conventional strong fence (`sf`).
+    Strong,
+}
+
+impl SiteStrength {
+    /// The paper's short name (`wf` / `sf`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SiteStrength::Weak => "wf",
+            SiteStrength::Strong => "sf",
+        }
+    }
+}
+
+/// An explicit per-site wf/sf choice overriding the role mapping.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FenceAssignment {
+    sites: BTreeMap<u32, SiteStrength>,
+}
+
+impl FenceAssignment {
+    /// An empty assignment (every fence falls through to role mapping).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an assignment over `sites` from a weak-site bitmask:
+    /// bit `i` set makes `sites[i]` weak, clear makes it strong. Every
+    /// listed site is mentioned, so the role mapping never applies to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 sites are given.
+    pub fn from_weak_mask(sites: &[u32], weak_mask: u64) -> Self {
+        assert!(sites.len() <= 64, "mask encoding holds at most 64 sites");
+        let mut a = FenceAssignment::new();
+        for (i, &s) in sites.iter().enumerate() {
+            let strength = if weak_mask & (1 << i) != 0 {
+                SiteStrength::Weak
+            } else {
+                SiteStrength::Strong
+            };
+            a.set(s, strength);
+        }
+        a
+    }
+
+    /// Sets (or overwrites) one site's strength.
+    pub fn set(&mut self, site: u32, strength: SiteStrength) {
+        self.sites.insert(site, strength);
+    }
+
+    /// The strength assigned to `site`, if mentioned.
+    pub fn strength(&self, site: u32) -> Option<SiteStrength> {
+        self.sites.get(&site).copied()
+    }
+
+    /// Number of sites mentioned.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether no site is mentioned.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Sites assigned weak, ascending.
+    pub fn weak_sites(&self) -> impl Iterator<Item = u32> + '_ {
+        self.sites
+            .iter()
+            .filter(|(_, &s)| s == SiteStrength::Weak)
+            .map(|(&k, _)| k)
+    }
+
+    /// How many sites are weak.
+    pub fn weak_count(&self) -> usize {
+        self.weak_sites().count()
+    }
+
+    /// Stable 64-bit key of the full mapping (memoization of oracle and
+    /// scoring runs). Equal assignments always produce equal keys; the
+    /// key is a hash, so unequal assignments collide only with ordinary
+    /// 64-bit-hash probability.
+    pub fn key(&self) -> u64 {
+        let mut acc = 0xA51F_0000_2015_0000u64;
+        for (&site, &strength) in &self.sites {
+            acc = mix64(&[acc, site as u64, strength as u64 + 1]);
+        }
+        acc
+    }
+
+    /// Compact human label: `wf@{i,j}` for the weak sites (or `all-sf`
+    /// when every mentioned site is strong).
+    pub fn label(&self) -> String {
+        let weak: Vec<String> = self.weak_sites().map(|s| s.to_string()).collect();
+        if weak.is_empty() {
+            "all-sf".to_string()
+        } else {
+            format!("wf@{{{}}}", weak.join(","))
+        }
+    }
+}
+
+impl fmt::Display for FenceAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Counters describing one synthesis search (per workload × design).
+///
+/// Merged across parallel evaluation batches; all fields are
+/// order-independent sums, so reports are identical at any worker count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Candidate assignments enumerated.
+    pub enumerated: u64,
+    /// Candidates rejected by the design's structural constraint.
+    pub pruned: u64,
+    /// Candidates the SC oracle rejected under some perturbation seed.
+    pub oracle_rejected: u64,
+    /// Candidates that passed the oracle and were scored.
+    pub valid: u64,
+    /// Evaluations answered from the assignment-hash memo table.
+    pub memo_hits: u64,
+    /// Serial-equivalent simulator runs charged (oracle + scoring).
+    pub runs: u64,
+}
+
+impl SearchStats {
+    /// Accumulates another batch of counters.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.enumerated += other.enumerated;
+        self.pruned += other.pruned;
+        self.oracle_rejected += other.oracle_rejected;
+        self.valid += other.valid;
+        self.memo_hits += other.memo_hits;
+        self.runs += other.runs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_round_trips_and_orders() {
+        let sites = [4u32, 1, 9];
+        let a = FenceAssignment::from_weak_mask(&sites, 0b011);
+        assert_eq!(a.strength(4), Some(SiteStrength::Weak));
+        assert_eq!(a.strength(1), Some(SiteStrength::Weak));
+        assert_eq!(a.strength(9), Some(SiteStrength::Strong));
+        assert_eq!(a.weak_sites().collect::<Vec<_>>(), vec![1, 4]);
+        assert_eq!(a.label(), "wf@{1,4}");
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn equality_is_insertion_order_independent() {
+        let mut a = FenceAssignment::new();
+        a.set(3, SiteStrength::Weak);
+        a.set(1, SiteStrength::Strong);
+        let mut b = FenceAssignment::new();
+        b.set(1, SiteStrength::Strong);
+        b.set(3, SiteStrength::Weak);
+        assert_eq!(a, b);
+        assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn keys_separate_distinct_assignments() {
+        let sites = [0u32, 1, 2, 3];
+        let keys: std::collections::HashSet<u64> = (0..16u64)
+            .map(|m| FenceAssignment::from_weak_mask(&sites, m).key())
+            .collect();
+        assert_eq!(keys.len(), 16, "16 masks must hash to 16 keys");
+    }
+
+    #[test]
+    fn all_strong_label() {
+        let a = FenceAssignment::from_weak_mask(&[7, 8], 0);
+        assert_eq!(a.label(), "all-sf");
+        assert_eq!(a.weak_count(), 0);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn stats_merge_sums() {
+        let mut a = SearchStats {
+            enumerated: 4,
+            pruned: 1,
+            oracle_rejected: 1,
+            valid: 2,
+            memo_hits: 0,
+            runs: 20,
+        };
+        let b = SearchStats {
+            enumerated: 2,
+            pruned: 0,
+            oracle_rejected: 0,
+            valid: 2,
+            memo_hits: 1,
+            runs: 8,
+        };
+        a.merge(&b);
+        assert_eq!(a.enumerated, 6);
+        assert_eq!(a.valid, 4);
+        assert_eq!(a.runs, 28);
+        assert_eq!(a.memo_hits, 1);
+    }
+}

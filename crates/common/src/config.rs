@@ -229,6 +229,11 @@ pub struct MachineConfig {
     pub seed: u64,
     /// Deterministic timing perturbations (off by default).
     pub perturb: Perturbation,
+    /// Explicit per-site fence-strength overrides
+    /// ([`crate::assign::FenceAssignment`]). `None` (the default) and an
+    /// empty assignment both leave every fence on the design's role
+    /// mapping, bit-for-bit.
+    pub fence_assignment: Option<crate::assign::FenceAssignment>,
 }
 
 impl Default for MachineConfig {
@@ -260,6 +265,7 @@ impl Default for MachineConfig {
             record_trace: false,
             seed: 0xA5F0_2015,
             perturb: Perturbation::default(),
+            fence_assignment: None,
         }
     }
 }
@@ -463,6 +469,12 @@ impl MachineConfigBuilder {
     /// Sets the deterministic timing perturbations.
     pub fn perturb(mut self, p: Perturbation) -> Self {
         self.cfg.perturb = p;
+        self
+    }
+
+    /// Installs explicit per-site fence-strength overrides.
+    pub fn fence_assignment(mut self, a: crate::assign::FenceAssignment) -> Self {
+        self.cfg.fence_assignment = Some(a);
         self
     }
 

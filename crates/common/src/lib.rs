@@ -2,7 +2,8 @@
 //!
 //! This crate holds the types that every layer of the stack speaks:
 //! addresses and identifiers ([`ids`]), the machine configuration
-//! ([`config`]), statistics counters ([`stats`]), deterministic
+//! ([`config`]), per-site fence-strength assignments ([`assign`]),
+//! statistics counters ([`stats`]), deterministic
 //! fence-lifecycle tracing ([`trace`]), a deterministic RNG ([`rng`]), a
 //! hermetic property-testing harness ([`prop`]), scoped worker-pool
 //! parallelism for deterministic sweeps ([`par`]) and small utility
@@ -23,6 +24,7 @@
 
 #![deny(missing_docs)]
 
+pub mod assign;
 pub mod config;
 pub mod ids;
 pub mod par;
@@ -33,6 +35,7 @@ pub mod scvlog;
 pub mod stats;
 pub mod trace;
 
+pub use assign::{FenceAssignment, SearchStats, SiteStrength};
 pub use config::{FenceDesign, MachineConfig, MachineConfigBuilder, Perturbation};
 pub use ids::{Addr, BankId, CoreId, Cycle, LineAddr, WordIdx};
 pub use rng::SimRng;

@@ -178,6 +178,23 @@ pub enum TraceKind {
         /// The busy line.
         line: LineAddr,
     },
+    /// Synthesis search: a candidate assignment survived the oracle and
+    /// was scored. Emitted by the `synth` engine (the "cycle" is the
+    /// search step, not a simulated cycle; the "core" is the workload
+    /// index in the run).
+    SynthAccept {
+        /// Weak-site bitmask of the candidate (bit `i` = group site `i`).
+        mask: u64,
+        /// Simulated cycles the scored run took.
+        cycles: u64,
+    },
+    /// Synthesis search: a candidate assignment was rejected.
+    SynthReject {
+        /// Weak-site bitmask of the candidate.
+        mask: u64,
+        /// Static reason label (e.g. `"ws+:>1wf"`, `"oracle:scv"`).
+        reason: &'static str,
+    },
 }
 
 /// One structured trace record.
@@ -642,6 +659,16 @@ impl TraceSink {
                 TraceKind::DirNack { line } => {
                     ("dir-nack".into(), "dir", format!("\"line\":{}", line.raw()))
                 }
+                TraceKind::SynthAccept { mask, cycles } => (
+                    format!("synth-accept:wf{mask:b}"),
+                    "synth",
+                    format!("\"mask\":{mask},\"cycles\":{cycles}"),
+                ),
+                TraceKind::SynthReject { mask, reason } => (
+                    format!("synth-reject:{reason}"),
+                    "synth",
+                    format!("\"mask\":{mask},\"reason\":\"{reason}\""),
+                ),
             };
             let mut line = String::new();
             let _ = write!(

@@ -34,12 +34,12 @@
 //! let mut m = Machine::new(&cfg);
 //! let (a, ra) = ScriptProgram::new(vec![
 //!     Instr::Store { addr: Addr::new(0x00), value: 1 },
-//!     Instr::Fence { role: FenceRole::Critical }, // hot thread: weak
+//!     Instr::fence(FenceRole::Critical), // hot thread: weak
 //!     Instr::Load { addr: Addr::new(0x40), tag: Some(1) },
 //! ]);
 //! let (b, rb) = ScriptProgram::new(vec![
 //!     Instr::Store { addr: Addr::new(0x40), value: 1 },
-//!     Instr::Fence { role: FenceRole::NonCritical }, // rare thread: strong
+//!     Instr::fence(FenceRole::NonCritical), // rare thread: strong
 //!     Instr::Load { addr: Addr::new(0x00), tag: Some(1) },
 //! ]);
 //! m.add_thread(Box::new(a));
@@ -67,6 +67,7 @@ pub mod prelude {
     pub use crate::machine::{Machine, RunOutcome};
     pub use crate::scv;
     pub use asymfence_coherence::RmwKind;
+    pub use asymfence_common::assign::{FenceAssignment, SearchStats, SiteStrength};
     pub use asymfence_common::config::{
         FenceDesign, MachineConfig, MachineConfigBuilder, Perturbation,
     };
@@ -77,6 +78,6 @@ pub mod prelude {
         FenceClass, FenceSpan, FenceTally, TraceEvent, TraceKind, TraceSink,
     };
     pub use asymfence_cpu::program::{
-        Fetch, FenceRole, Instr, Registers, ScriptProgram, ThreadProgram,
+        Fetch, FenceRole, FenceSite, Instr, Registers, ScriptProgram, ThreadProgram,
     };
 }

@@ -326,9 +326,7 @@ mod tests {
                     addr: Addr::new(mine),
                     value: 1,
                 },
-                Instr::Fence {
-                    role: FenceRole::Critical,
-                },
+                Instr::fence(FenceRole::Critical),
                 Instr::Load {
                     addr: Addr::new(other),
                     tag: Some(1),

@@ -25,6 +25,7 @@
 use std::collections::VecDeque;
 
 use asymfence_coherence::{MemEvent, MemSystem, OrderMode, RmwKind, Token};
+use asymfence_common::assign::SiteStrength;
 use asymfence_common::config::{FenceDesign, MachineConfig};
 use asymfence_common::ids::{Addr, CoreId, Cycle, LineAddr};
 use asymfence_common::scvlog::ScvLog;
@@ -32,7 +33,7 @@ use asymfence_common::stats::{CoreStats, StallKind};
 use asymfence_common::trace::{FenceClass, TraceKind};
 use asymfence_common::trace_event;
 
-use crate::program::{Fetch, FenceRole, Instr, ThreadProgram};
+use crate::program::{Fetch, FenceRole, FenceSite, Instr, ThreadProgram};
 
 /// Hardware fence kinds after the design has mapped a role.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -216,7 +217,21 @@ impl Core {
         self.stats.instrs_retired + self.completed_store_serial + self.stats.recoveries
     }
 
-    fn resolve_fence(&self, role: FenceRole) -> HwFence {
+    fn resolve_fence(&self, role: FenceRole, site: FenceSite) -> HwFence {
+        // An explicit per-site assignment (synthesis engine) takes
+        // precedence over the design's role mapping; anonymous sites and
+        // unmentioned sites always fall through to the role mapping.
+        if !site.is_anon() {
+            if let Some(assign) = &self.cfg.fence_assignment {
+                if let Some(strength) = assign.strength(site.raw()) {
+                    return match strength {
+                        SiteStrength::Strong => HwFence::Strong,
+                        SiteStrength::Weak if self.design == FenceDesign::Wee => HwFence::WeeWeak,
+                        SiteStrength::Weak => HwFence::Weak,
+                    };
+                }
+            }
+        }
         match self.design {
             FenceDesign::SPlus => HwFence::Strong,
             FenceDesign::WsPlus | FenceDesign::SwPlus => match role {
@@ -975,8 +990,8 @@ impl Core {
                     result: None,
                 }
             }
-            Instr::Fence { role } => {
-                let kind = self.resolve_fence(role);
+            Instr::Fence { role, site } => {
+                let kind = self.resolve_fence(role, site);
                 let serial = self.next_fence_serial;
                 self.next_fence_serial += 1;
                 self.last_fence_serial = serial;

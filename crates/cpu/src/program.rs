@@ -34,6 +34,44 @@ pub enum FenceRole {
     NonCritical,
 }
 
+/// Identity of one *static* fence site within a workload.
+///
+/// Every dynamic execution of the same program-text fence carries the
+/// same site id, so a per-site
+/// [`FenceAssignment`](asymfence_common::assign::FenceAssignment) can
+/// override the role-based strength mapping fence by fence (the
+/// synthesis engine searches that space). Fences nobody needs to address
+/// use [`FenceSite::ANON`], which no assignment matches — role mapping
+/// remains the default and unannotated workloads behave exactly as
+/// before.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FenceSite(pub u32);
+
+impl FenceSite {
+    /// The anonymous site: never matched by an assignment.
+    pub const ANON: FenceSite = FenceSite(u32::MAX);
+
+    /// Raw site id (the key used in assignment encodings).
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this is the anonymous (unaddressable) site.
+    pub const fn is_anon(self) -> bool {
+        self.0 == u32::MAX
+    }
+}
+
+impl std::fmt::Display for FenceSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_anon() {
+            write!(f, "s?")
+        } else {
+            write!(f, "s{}", self.0)
+        }
+    }
+}
+
 /// One dynamic instruction.
 #[derive(Clone, Debug)]
 pub enum Instr {
@@ -62,16 +100,35 @@ pub enum Instr {
         /// Delivery tag for the old value.
         tag: u64,
     },
-    /// A memory fence with a workload-assigned role.
+    /// A memory fence with a workload-assigned role and static site id.
     Fence {
         /// Role in its fence group.
         role: FenceRole,
+        /// Static site identity (or [`FenceSite::ANON`]).
+        site: FenceSite,
     },
     /// `cycles` units of non-memory work (retires at the issue width).
     Compute {
         /// Units of work.
         cycles: u64,
     },
+}
+
+impl Instr {
+    /// An anonymous fence: strength comes from the design's role mapping.
+    pub const fn fence(role: FenceRole) -> Instr {
+        Instr::Fence {
+            role,
+            site: FenceSite::ANON,
+        }
+    }
+
+    /// A fence at an addressable site; a
+    /// [`FenceAssignment`](asymfence_common::assign::FenceAssignment) in
+    /// the machine config may override its strength.
+    pub const fn fence_at(site: FenceSite, role: FenceRole) -> Instr {
+        Instr::Fence { role, site }
+    }
 }
 
 /// What the front end got from the program this fetch.
@@ -261,9 +318,7 @@ mod tests {
     #[test]
     fn snapshot_restores_fetch_position() {
         let (mut p, regs) = ScriptProgram::new(vec![
-            Instr::Fence {
-                role: FenceRole::Critical,
-            },
+            Instr::fence(FenceRole::Critical),
             Instr::Load {
                 addr: Addr::new(0),
                 tag: Some(1),

@@ -52,7 +52,7 @@ fn sb_side(mine: Addr, other: Addr, dummy: Addr, fence: Option<FenceRole>) -> Ve
         Instr::Store { addr: mine, value: 1 },
     ];
     if let Some(role) = fence {
-        v.push(Instr::Fence { role });
+        v.push(Instr::fence(role));
     }
     v.push(Instr::Load { addr: other, tag: Some(1) });
     v
@@ -140,9 +140,7 @@ fn strong_fence_stalls_post_fence_load() {
     let c = MachineConfig::builder().cores(1).build();
     let (p, regs) = ScriptProgram::new(vec![
         Instr::Store { addr: X, value: 3 },
-        Instr::Fence {
-            role: FenceRole::Critical,
-        },
+        Instr::fence(FenceRole::Critical),
         Instr::Load { addr: Y, tag: Some(1) },
     ]);
     let (cores, _, done) = run(&c, vec![Box::new(p)], 100_000);
@@ -166,9 +164,7 @@ fn weak_fence_lets_post_fence_load_retire_early() {
         .build();
     let (p, regs) = ScriptProgram::new(vec![
         Instr::Store { addr: X, value: 3 },
-        Instr::Fence {
-            role: FenceRole::Critical,
-        },
+        Instr::fence(FenceRole::Critical),
         Instr::Load { addr: Y, tag: Some(1) },
     ]);
     let (cores, _, done) = run(&c, vec![Box::new(p)], 100_000);
@@ -191,9 +187,7 @@ fn forwarded_load_ignores_fences() {
     let c = MachineConfig::builder().cores(1).build();
     let (p, regs) = ScriptProgram::new(vec![
         Instr::Store { addr: X, value: 9 },
-        Instr::Fence {
-            role: FenceRole::Critical,
-        },
+        Instr::fence(FenceRole::Critical),
         Instr::Load { addr: X, tag: Some(1) },
     ]);
     let (_, _, done) = run(&c, vec![Box::new(p)], 100_000);
@@ -273,9 +267,7 @@ fn wee_fence_demotes_when_pending_set_spans_banks() {
     let (p, _) = ScriptProgram::new(vec![
         Instr::Store { addr: Addr::new(0x00), value: 1 }, // chunk 0 -> bank 0
         Instr::Store { addr: Addr::new(0x20000), value: 2 }, // chunk 1 -> bank 1
-        Instr::Fence {
-            role: FenceRole::Critical,
-        },
+        Instr::fence(FenceRole::Critical),
         Instr::Load {
             addr: Addr::new(0x100),
             tag: Some(1),
@@ -299,9 +291,7 @@ fn wee_fence_stays_weak_on_single_bank_and_retires_loads_early() {
     // Lines 0 and 2 share the first interleave chunk (bank 0).
     let (p, _) = ScriptProgram::new(vec![
         Instr::Store { addr: Addr::new(0x00), value: 1 }, // chunk 0 -> bank 0
-        Instr::Fence {
-            role: FenceRole::Critical,
-        },
+        Instr::fence(FenceRole::Critical),
         Instr::Load {
             addr: Addr::new(0x40), // same chunk -> bank 0
             tag: Some(1),
@@ -328,9 +318,7 @@ fn wee_post_fence_load_to_foreign_bank_retires_early_after_broadcast() {
         Instr::Load { addr: Addr::new(0x20), tag: None }, // warm the target
         Instr::Compute { cycles: 1600 },
         Instr::Store { addr: Addr::new(0x00), value: 1 }, // bank 0
-        Instr::Fence {
-            role: FenceRole::Critical,
-        },
+        Instr::fence(FenceRole::Critical),
         Instr::Load {
             addr: Addr::new(0x20), // line 1 -> bank 1 (foreign, no PS hit)
             tag: Some(1),
@@ -404,9 +392,7 @@ fn bypass_set_overflow_degrades_to_stall() {
         .build();
     let (p, _) = ScriptProgram::new(vec![
         Instr::Store { addr: X, value: 1 },
-        Instr::Fence {
-            role: FenceRole::Critical,
-        },
+        Instr::fence(FenceRole::Critical),
         Instr::Load { addr: Y, tag: None },
         Instr::Load {
             addr: Addr::new(0x80),
@@ -474,13 +460,9 @@ fn back_to_back_weak_fences_nest() {
         .build();
     let (p, regs) = ScriptProgram::new(vec![
         Instr::Store { addr: X, value: 1 },
-        Instr::Fence {
-            role: FenceRole::Critical,
-        },
+        Instr::fence(FenceRole::Critical),
         Instr::Store { addr: Y, value: 2 },
-        Instr::Fence {
-            role: FenceRole::Critical,
-        },
+        Instr::fence(FenceRole::Critical),
         Instr::Load {
             addr: Addr::new(0x80),
             tag: Some(1),
@@ -503,9 +485,7 @@ fn order_mode_clears_after_fences_complete() {
     let c = cfg(FenceDesign::WsPlus);
     let (pa, _) = ScriptProgram::new(vec![
         Instr::Store { addr: X, value: 1 },
-        Instr::Fence {
-            role: FenceRole::Critical,
-        },
+        Instr::fence(FenceRole::Critical),
         Instr::Load { addr: Y, tag: Some(1) },
     ]);
     let (progs, _, _) = (vec![Box::new(pa) as Box<dyn ThreadProgram>], 0, 0);
@@ -551,9 +531,7 @@ fn wider_merge_width_hides_store_drain() {
                 value: i,
             })
             .collect();
-        instrs.push(Instr::Fence {
-            role: FenceRole::Critical,
-        });
+        instrs.push(Instr::fence(FenceRole::Critical));
         instrs.push(Instr::Load { addr: Y, tag: Some(1) });
         let (p, _) = ScriptProgram::new(instrs);
         let (cores, mem, done) = run(&c, vec![Box::new(p)], 1_000_000);
@@ -603,9 +581,7 @@ fn merge_width_never_issues_past_an_incomplete_weak_fence() {
         .build();
     let (p, _) = ScriptProgram::new(vec![
         Instr::Store { addr: X, value: 1 },
-        Instr::Fence {
-            role: FenceRole::Critical,
-        },
+        Instr::fence(FenceRole::Critical),
         Instr::Store { addr: Y, value: 2 },
         Instr::Load {
             addr: Addr::new(0x80),

@@ -165,6 +165,25 @@ impl SweepReport {
     }
 }
 
+/// Result of sweeping an arbitrary machine builder ([`Explorer::sweep_builder`]):
+/// the library-call form of the oracle, without scenario shrinking.
+#[derive(Clone, Debug)]
+pub struct OracleReport {
+    /// The lowest failing seed and what the oracle saw there, if any.
+    pub violation: Option<(u64, Failure)>,
+    /// Serial-equivalent simulator runs charged (seeds up to and
+    /// including the first failure, or the whole budget when clean) —
+    /// independent of the worker count.
+    pub runs: u64,
+}
+
+impl OracleReport {
+    /// True when every seed passed the oracle.
+    pub fn clean(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
 /// The engine. Stateless apart from its config; every method is a pure
 /// function of `(config, scenario, design)`, so the seed sweep can fan
 /// out over worker threads without changing any report.
@@ -204,6 +223,18 @@ impl Explorer {
             self.cfg.perturbation(seed),
             self.cfg.watchdog_cycles,
         );
+        self.check_machine(&mut m)
+    }
+
+    /// Runs an already-built machine to completion and applies the
+    /// oracle: deadlock and cycle-limit are failures, and a finished run
+    /// is checked with the Shasha–Snir cycle finder. The machine must
+    /// have been built with `record_scv_log(true)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine does not record the SCV log.
+    pub fn check_machine(&self, m: &mut Machine) -> Option<Failure> {
         match m.run(self.cfg.max_cycles) {
             RunOutcome::Deadlocked => return Some(Failure::Deadlock),
             RunOutcome::CycleLimit => return Some(Failure::CycleLimit),
@@ -211,10 +242,40 @@ impl Explorer {
         }
         let log = m
             .scv_log()
-            .expect("explorer machines always record the SCV log");
+            .expect("oracle machines must record the SCV log");
         scv::find_cycle(log).map(|cycle| Failure::Scv {
             report: scv::describe_cycle(log, &cycle),
         })
+    }
+
+    /// Sweeps `0..cfg.seeds` over machines produced by `build` — the
+    /// library-call form of the oracle, used by the synthesis engine to
+    /// validate fence assignments without going through a [`Scenario`].
+    ///
+    /// `build` must be a pure function of the perturbation (each worker
+    /// constructs its own machine, so the machine itself never crosses a
+    /// thread boundary) and must enable the SCV log and set its own
+    /// watchdog. As with [`Explorer::sweep`], the result and the charged
+    /// `runs` are identical at any worker count.
+    pub fn sweep_builder<F>(&self, build: F) -> OracleReport
+    where
+        F: Fn(Perturbation) -> Machine + Sync,
+    {
+        let jobs = par::resolve_jobs((self.jobs > 0).then_some(self.jobs));
+        let hit = par::par_min_find(jobs, self.cfg.seeds, |seed| {
+            let mut m = build(self.cfg.perturbation(seed));
+            self.check_machine(&mut m)
+        });
+        match hit {
+            Some((seed, failure)) => OracleReport {
+                runs: seed + 1,
+                violation: Some((seed, failure)),
+            },
+            None => OracleReport {
+                runs: self.cfg.seeds,
+                violation: None,
+            },
+        }
     }
 
     /// Replays one seed with the fence-lifecycle trace attached and

@@ -23,6 +23,6 @@ pub mod explorer;
 pub mod scenario;
 
 pub use explorer::{
-    Counterexample, ExploreConfig, Explorer, Failure, SweepReport, ALL_DESIGNS,
+    Counterexample, ExploreConfig, Explorer, Failure, OracleReport, SweepReport, ALL_DESIGNS,
 };
 pub use scenario::{slot_addr, Op, Scenario, ScenarioGen, ThreadSpec};

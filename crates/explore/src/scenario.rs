@@ -131,7 +131,7 @@ impl Scenario {
                         addr: slot_addr(slot),
                         tag: None,
                     },
-                    Op::Fence => Instr::Fence { role: t.role },
+                    Op::Fence => Instr::fence(t.role),
                     Op::Compute { cycles } => Instr::Compute {
                         cycles: cycles as u64,
                     },

@@ -1,0 +1,10 @@
+//! `synth`: search per-site wf/sf fence assignments for the paper's
+//! kernels, validate them with the schedule-exploration oracle, score
+//! them on the simulator, and compare against the paper's hand
+//! annotations. Shares the bench harness flags
+//! (`--jobs/--designs/--filter/--quick/--trace`).
+
+fn main() {
+    let (runner, opts) = asymfence_bench::cli::parse("synth");
+    asymfence_synth::run_cli(&runner, &opts);
+}

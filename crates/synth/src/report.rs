@@ -1,0 +1,217 @@
+//! The synthesized-vs-paper report and the `synth` binary's driver.
+//!
+//! One row per (workload, design): the paper's hand annotation (its
+//! mask, oracle verdict and cycles) next to the best synthesized
+//! assignment, with the cycle delta. Two findings are called out beneath
+//! the table: any synthesized assignment strictly faster than the
+//! paper's, and any paper annotation the oracle rejects. Output flows
+//! through the bench [`ReportSink`], so the markdown and the
+//! `results/synth_assignments.csv` bytes are identical at any `--jobs`.
+
+use asymfence::prelude::{FenceDesign, MachineConfig, TraceSink};
+use asymfence_bench::cli::Opts;
+use asymfence_bench::{ReportSink, Runner, Table};
+use asymfence_common::assign::SearchStats;
+use asymfence_explore::{ExploreConfig, Explorer};
+use asymfence_workloads::sites::SiteBench;
+
+use crate::search::{mask_label, Synthesizer};
+
+/// Designs the synthesis report covers by default: the paper's four
+/// safe asymmetric-capable points plus the S+ baseline. (`Wee` behaves
+/// like W+ for admissibility; pass `--designs` to include it.)
+pub const SYNTH_DESIGNS: [FenceDesign; 4] = [
+    FenceDesign::SPlus,
+    FenceDesign::WsPlus,
+    FenceDesign::SwPlus,
+    FenceDesign::WPlus,
+];
+
+/// Oracle seed budget: `--quick` trades sweep depth for wall time.
+pub fn seed_budget(quick: bool) -> u64 {
+    if quick {
+        8
+    } else {
+        48
+    }
+}
+
+/// Runs the full synthesis report into `sink`. Returns the merged
+/// search statistics (serial-equivalent, jobs-independent).
+pub fn run(runner: &Runner, opts: &Opts, sink: &mut ReportSink) -> SearchStats {
+    let designs: Vec<FenceDesign> = match &opts.designs {
+        None => SYNTH_DESIGNS.to_vec(),
+        Some(ds) => ds.clone(),
+    };
+    let benches: Vec<SiteBench> = SiteBench::ALL
+        .into_iter()
+        .filter(|b| opts.keep(b.name()))
+        .collect();
+
+    let explorer = Explorer::new(ExploreConfig {
+        seeds: seed_budget(opts.quick),
+        ..Default::default()
+    });
+    let mut synth = Synthesizer::new(explorer, *runner, asymfence_bench::SEED);
+    let mut trace = opts
+        .trace
+        .as_ref()
+        .map(|_| TraceSink::new(FenceDesign::SPlus));
+
+    sink.line("## Synthesized fence assignments vs paper annotations");
+    sink.line(format!(
+        "(oracle: Shasha-Snir over {} perturbation seeds; scoring: simulated cycles at the natural schedule)",
+        synth.explorer.cfg.seeds
+    ));
+    sink.blank();
+
+    let mut table = Table::new(vec![
+        "workload", "design", "sites", "groups", "paper", "paper ok", "paper cycles",
+        "synthesized", "cycles", "delta",
+    ]);
+    let mut faster: Vec<String> = Vec::new();
+    let mut rejected: Vec<String> = Vec::new();
+    let mut stats = SearchStats::default();
+
+    for &bench in &benches {
+        let cfg = MachineConfig::builder().cores(bench.cores()).build();
+        let sites = bench.sites(&cfg);
+        for &design in &designs {
+            let r = synth.synthesize(bench, design, trace.as_mut());
+            stats.merge(&r.stats);
+            let groups_cell = r
+                .groups
+                .iter()
+                .map(|g| {
+                    let names: Vec<&str> = g.iter().map(|&i| sites[i].label).collect();
+                    format!("{{{}}}", names.join(" "))
+                })
+                .collect::<Vec<_>>()
+                .join(" ");
+            let best_label = r
+                .best
+                .map(|b| mask_label(&sites, b.mask))
+                .unwrap_or_else(|| "-".into());
+            let best_cycles = r.best.map(|b| b.cycles.to_string()).unwrap_or_else(|| "-".into());
+            let delta = match (r.paper.cycles, r.best) {
+                (Some(p), Some(b)) => format!("{:+}", b.cycles as i64 - p as i64),
+                _ => "-".into(),
+            };
+            table.row(vec![
+                bench.name().to_string(),
+                design.label().to_string(),
+                r.n_sites.to_string(),
+                if groups_cell.is_empty() { "-".into() } else { groups_cell },
+                mask_label(&sites, r.paper.mask),
+                if r.paper.valid { "yes".into() } else { "NO".into() },
+                r.paper
+                    .cycles
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                best_label.clone(),
+                best_cycles,
+                delta,
+            ]);
+            if let (Some(p), Some(b)) = (r.paper.cycles, r.best) {
+                if b.cycles < p {
+                    faster.push(format!(
+                        "{}/{}: {} finishes in {} cycles vs the paper's {} ({} saved)",
+                        bench.name(),
+                        design.label(),
+                        best_label,
+                        b.cycles,
+                        p,
+                        p - b.cycles
+                    ));
+                }
+            }
+            if !r.paper.valid {
+                rejected.push(format!(
+                    "{}/{}: paper annotation {} fails the oracle",
+                    bench.name(),
+                    design.label(),
+                    mask_label(&sites, r.paper.mask)
+                ));
+            }
+        }
+    }
+
+    sink.table("synth_assignments", &table);
+    if !faster.is_empty() {
+        sink.line("Synthesized assignments strictly faster than the paper's:");
+        for f in &faster {
+            sink.line(format!("  - {f}"));
+        }
+        sink.blank();
+    }
+    if !rejected.is_empty() {
+        sink.line("Paper annotations REJECTED by the oracle:");
+        for f in &rejected {
+            sink.line(format!("  - {f}"));
+        }
+        sink.blank();
+    }
+    sink.line(format!(
+        "search: {} enumerated, {} pruned structurally, {} oracle-rejected, {} valid, \
+         {} memo hits, {} simulator runs",
+        stats.enumerated,
+        stats.pruned,
+        stats.oracle_rejected,
+        stats.valid,
+        stats.memo_hits,
+        stats.runs
+    ));
+
+    if let (Some(path), Some(sink)) = (opts.trace.as_deref(), trace) {
+        std::fs::write(path, sink.chrome_json())
+            .unwrap_or_else(|e| panic!("cannot write trace file {path}: {e}"));
+        eprintln!(
+            "== synthesis trace -> {path} ({} decisions) ==",
+            sink.recorded()
+        );
+    }
+    stats
+}
+
+/// The `synth` binary's entry point: parse shared flags, run the report
+/// to stdout + `results/`.
+pub fn run_cli(runner: &Runner, opts: &Opts) {
+    let mut sink = ReportSink::stdout();
+    run(runner, opts, &mut sink);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts(filter: &str) -> Opts {
+        Opts {
+            quick: true,
+            filter: Some(filter.to_string()),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn report_bytes_are_identical_at_any_job_count() {
+        let opts = quick_opts("sb");
+        let mut a = ReportSink::capture();
+        let mut b = ReportSink::capture();
+        let sa = run(&Runner::with_jobs(1).progress(false), &opts, &mut a);
+        let sb = run(&Runner::with_jobs(2).progress(false), &opts, &mut b);
+        assert_eq!(a.captured(), b.captured());
+        assert_eq!(a.csv("synth_assignments"), b.csv("synth_assignments"));
+        assert_eq!(sa, sb, "charged stats must be jobs-independent");
+    }
+
+    #[test]
+    fn report_covers_paper_and_synthesized_columns() {
+        let opts = quick_opts("wsq");
+        let mut sink = ReportSink::capture();
+        run(&Runner::with_jobs(2).progress(false), &opts, &mut sink);
+        let csv = sink.csv("synth_assignments").unwrap();
+        assert!(csv.contains("wsq,S+"));
+        assert!(csv.contains("wsq,WS+"));
+        assert!(csv.contains("{owner.take thief.steal}"), "{csv}");
+    }
+}

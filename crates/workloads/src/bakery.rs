@@ -11,7 +11,7 @@
 //! WS+ scenario) or let every thread run fast (`AllCritical` — the W+
 //! scenario).
 
-use asymfence::prelude::{Addr, Fetch, FenceRole, ThreadProgram};
+use asymfence::prelude::{Addr, Fetch, FenceRole, FenceSite, ThreadProgram};
 use asymfence_common::config::MachineConfig;
 use asymfence_common::rng::SimRng;
 
@@ -45,9 +45,12 @@ impl RoleAssign {
 /// Shared arrays of the Bakery protocol.
 #[derive(Clone, Debug)]
 pub struct BakeryLayout {
-    entering: Vec<Addr>,
-    number: Vec<Addr>,
-    owner: Addr,
+    /// `E[i]`: thread `i` is in the doorway.
+    pub entering: Vec<Addr>,
+    /// `N[i]`: thread `i`'s ticket number.
+    pub number: Vec<Addr>,
+    /// Critical-section witness word.
+    pub owner: Addr,
 }
 
 impl BakeryLayout {
@@ -129,7 +132,7 @@ impl BakeryThread {
                 }
                 // Doorway: E[i] = 1; fence; read everyone's numbers.
                 self.ops.store(self.layout.entering[self.tid], 1);
-                self.ops.fence(self.role);
+                self.ops.fence_at(doorway_site(self.tid), self.role);
                 let tags = (0..self.threads)
                     .map(|j| self.ops.load(self.layout.number[j]))
                     .collect();
@@ -145,8 +148,12 @@ impl BakeryThread {
                 self.my_number = max + 1;
                 self.ops.store(self.layout.number[self.tid], self.my_number);
                 self.ops.store(self.layout.entering[self.tid], 0);
-                // Under TSO these two stores stay ordered; the wait loops
-                // below re-read with fresh loads each iteration.
+                // The ticket fence: N[i] and E[i] must be visible before
+                // the wait loops below read the other threads' state —
+                // without it the TSO write buffer opens an unfenced
+                // st→ld window and the execution is not SC.
+                self.ops
+                    .fence_at(ticket_site(self.tid), FenceRole::NonCritical);
                 self.state = self.wait_from(0);
                 true
             }
@@ -252,6 +259,19 @@ impl ThreadProgram for BakeryThread {
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
+}
+
+/// The doorway fence site of thread `tid` (between `E[i] := 1` and the
+/// number reads).
+pub fn doorway_site(tid: usize) -> FenceSite {
+    FenceSite(2 * tid as u32)
+}
+
+/// The ticket fence site of thread `tid` (between the `N[i]`/`E[i]`
+/// publication stores and the wait loops). Always `NonCritical`: it sits
+/// on the already-contended slow path.
+pub fn ticket_site(tid: usize) -> FenceSite {
+    FenceSite(2 * tid as u32 + 1)
 }
 
 /// Builds the Bakery participants.

@@ -11,7 +11,7 @@
 //! designs would accelerate on weaker models (readers `Critical`,
 //! initializer `NonCritical`).
 
-use asymfence::prelude::{Addr, Fetch, FenceRole, RmwKind, ThreadProgram};
+use asymfence::prelude::{Addr, Fetch, FenceRole, FenceSite, RmwKind, ThreadProgram};
 use asymfence_common::config::MachineConfig;
 use asymfence_common::rng::SimRng;
 
@@ -118,7 +118,8 @@ impl DclThread {
                     if self.fenced {
                         // On weaker-than-TSO models the reader needs an
                         // acquire fence here; readers are the hot side.
-                        self.ops.fence(FenceRole::Critical);
+                        self.ops
+                            .fence_at(reader_site(self.tid), FenceRole::Critical);
                     }
                     let tags = self
                         .layout
@@ -158,7 +159,8 @@ impl DclThread {
                     if self.fenced {
                         // Release fence before publication (needed on
                         // models weaker than TSO; rare path).
-                        self.ops.fence(FenceRole::NonCritical);
+                        self.ops
+                            .fence_at(init_site(self.tid), FenceRole::NonCritical);
                     }
                     self.ops.store(self.layout.initialized, 1);
                     self.initialized_by_me += 1;
@@ -225,6 +227,16 @@ impl ThreadProgram for DclThread {
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
+}
+
+/// The reader-side (acquire) fence site of thread `tid`.
+pub fn reader_site(tid: usize) -> FenceSite {
+    FenceSite(2 * tid as u32)
+}
+
+/// The initializer-side (release) fence site of thread `tid`.
+pub fn init_site(tid: usize) -> FenceSite {
+    FenceSite(2 * tid as u32 + 1)
 }
 
 /// Builds the DCL threads. `fenced = false` demonstrates TSO's natural

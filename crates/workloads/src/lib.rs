@@ -12,20 +12,24 @@
 //! * [`bakery`] — Lamport's Bakery lock (paper §4.3).
 //! * [`biased`] — biased locking / lock reservation (paper §4.4).
 //! * [`dcl`] — double-checked locking (paper §4.4).
+//! * [`dekker`] — Dekker's full mutual-exclusion protocol (Figure 1a).
 //! * [`spsc`] — Lamport's SPSC ring buffer (fence-free under TSO: the
 //!   negative control, and a coherence streaming stress).
 //! * [`litmus`] — the paper's figure-by-figure SCV/deadlock scenarios.
 //!
 //! Shared infrastructure: [`ops`] (micro-op queues for state-machine
-//! programs) and [`layout`] (address-space carving).
+//! programs), [`layout`] (address-space carving), and [`sites`] (static
+//! fence-site footprints for the synthesis engine).
 
 pub mod bakery;
 pub mod biased;
 pub mod cilk;
 pub mod dcl;
+pub mod dekker;
 pub mod layout;
 pub mod litmus;
 pub mod ops;
+pub mod sites;
 pub mod spsc;
 pub mod stamp;
 pub mod tlrw;

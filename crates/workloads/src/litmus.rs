@@ -8,7 +8,7 @@
 //! the critical post-fence load is an L1 hit, and a cold "dummy" store
 //! that keeps the write buffer busy while the fence group forms.
 
-use asymfence::prelude::{Addr, FenceRole, Instr, Registers, ScriptProgram, ThreadProgram};
+use asymfence::prelude::{Addr, FenceRole, FenceSite, Instr, Registers, ScriptProgram, ThreadProgram};
 
 /// Programs plus their observation registers.
 pub type LitmusSetup = (Vec<Box<dyn ThreadProgram>>, Vec<Registers>);
@@ -18,15 +18,15 @@ pub const OBSERVED: u64 = 1;
 
 const SPIN: u64 = 1600;
 
-fn side(mine: Addr, other: Addr, dummy: Addr, fence: Option<FenceRole>) -> Vec<Instr> {
+fn side(mine: Addr, other: Addr, dummy: Addr, fence: Option<(FenceSite, FenceRole)>) -> Vec<Instr> {
     let mut v = vec![
         Instr::Load { addr: other, tag: None }, // warm the observed line
         Instr::Compute { cycles: SPIN },
         Instr::Store { addr: dummy, value: 1 }, // cold: holds the WB ~200 cycles
         Instr::Store { addr: mine, value: 1 },
     ];
-    if let Some(role) = fence {
-        v.push(Instr::Fence { role });
+    if let Some((site, role)) = fence {
+        v.push(Instr::fence_at(site, role));
     }
     v.push(Instr::Load {
         addr: other,
@@ -46,7 +46,7 @@ pub fn store_buffering(fences: Option<(FenceRole, FenceRole)>) -> LitmusSetup {
     let x = Addr::new(0x00);
     let y = Addr::new(0x40);
     let (fa, fb) = match fences {
-        Some((a, b)) => (Some(a), Some(b)),
+        Some((a, b)) => (Some((FenceSite(0), a)), Some((FenceSite(1), b))),
         None => (None, None),
     };
     let (pa, ra) = ScriptProgram::new(side(x, y, dummy(0), fa));
@@ -61,7 +61,9 @@ pub fn three_thread_cycle(roles: [FenceRole; 3]) -> LitmusSetup {
     let x = Addr::new(0x00);
     let y = Addr::new(0x40);
     let z = Addr::new(0x80);
-    let mk = |mine, other, i: usize, role| ScriptProgram::new(side(mine, other, dummy(i), Some(role)));
+    let mk = |mine, other, i: usize, role| {
+        ScriptProgram::new(side(mine, other, dummy(i), Some((FenceSite(i as u32), role))))
+    };
     let (p0, r0) = mk(x, y, 0, roles[0]);
     let (p1, r1) = mk(y, z, 1, roles[1]);
     let (p2, r2) = mk(z, x, 2, roles[2]);
@@ -80,8 +82,8 @@ pub fn false_sharing_pair(role_a: FenceRole, role_b: FenceRole) -> LitmusSetup {
     let x2 = Addr::new(0x08); // same line as x
     let y = Addr::new(0x40);
     let y2 = Addr::new(0x48); // same line as y
-    let (pa, ra) = ScriptProgram::new(side(x, y2, dummy(0), Some(role_a)));
-    let (pb, rb) = ScriptProgram::new(side(y, x2, dummy(1), Some(role_b)));
+    let (pa, ra) = ScriptProgram::new(side(x, y2, dummy(0), Some((FenceSite(0), role_a))));
+    let (pb, rb) = ScriptProgram::new(side(y, x2, dummy(1), Some((FenceSite(1), role_b))));
     (vec![Box::new(pa), Box::new(pb)], vec![ra, rb])
 }
 

@@ -20,7 +20,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use asymfence::prelude::{Addr, Fetch, FenceRole, Instr, RmwKind};
+use asymfence::prelude::{Addr, Fetch, FenceRole, FenceSite, Instr, RmwKind};
 
 /// A tag identifying a delivered value.
 pub type Tag = u64;
@@ -74,9 +74,15 @@ impl Ops {
         tag
     }
 
-    /// Emits a fence.
+    /// Emits an anonymous fence (strength from the design's role mapping).
     pub fn fence(&mut self, role: FenceRole) {
-        self.queue.push_back(Instr::Fence { role });
+        self.queue.push_back(Instr::fence(role));
+    }
+
+    /// Emits a fence at an addressable static site, so a per-site
+    /// `FenceAssignment` in the machine config can override its strength.
+    pub fn fence_at(&mut self, site: FenceSite, role: FenceRole) {
+        self.queue.push_back(Instr::fence_at(site, role));
     }
 
     /// Emits `cycles` units of compute.

@@ -12,7 +12,7 @@
 //! The protocol pieces are written as poll-driven micro state machines
 //! over [`Ops`] so workloads can embed them.
 
-use asymfence::prelude::{Addr, FenceRole, RmwKind};
+use asymfence::prelude::{Addr, FenceRole, FenceSite, RmwKind};
 
 use crate::layout::AddressAllocator;
 use crate::ops::{Ops, Tag};
@@ -107,10 +107,16 @@ impl Take {
     /// Starts a take: `local_tail` is the owner's cached tail (number of
     /// pushed-minus-taken tasks from the owner's view).
     pub fn start(deque: &DequeLayout, local_tail: u64, ops: &mut Ops) -> Take {
+        Take::start_at(deque, local_tail, ops, FenceSite::ANON)
+    }
+
+    /// As [`Take::start`], but the Dekker fence carries an addressable
+    /// site id so a per-site assignment can override its strength.
+    pub fn start_at(deque: &DequeLayout, local_tail: u64, ops: &mut Ops, site: FenceSite) -> Take {
         debug_assert!(local_tail > 0, "caller checks its cached tail first");
         let t = local_tail - 1;
         ops.store(deque.tail, t);
-        ops.fence(FenceRole::Critical);
+        ops.fence_at(site, FenceRole::Critical);
         let head = ops.load(deque.head);
         Take {
             deque: deque.clone(),
@@ -209,15 +215,23 @@ enum StealSt {
 #[derive(Clone, Debug)]
 pub struct Steal {
     deque: DequeLayout,
+    site: FenceSite,
     state: StealSt,
 }
 
 impl Steal {
     /// Starts a steal against a victim deque.
     pub fn start(deque: &DequeLayout, ops: &mut Ops) -> Steal {
+        Steal::start_at(deque, ops, FenceSite::ANON)
+    }
+
+    /// As [`Steal::start`], but the thief's fence carries an addressable
+    /// site id so a per-site assignment can override its strength.
+    pub fn start_at(deque: &DequeLayout, ops: &mut Ops, site: FenceSite) -> Steal {
         let lock = ops.rmw(deque.lock, RmwKind::Cas { expect: 0, new: 1 });
         Steal {
             deque: deque.clone(),
+            site,
             state: StealSt::LockSpin { lock },
         }
     }
@@ -239,7 +253,7 @@ impl Steal {
             StealSt::WaitHead { head } => {
                 let h = ops.take(head);
                 ops.store(self.deque.head, h + 1);
-                ops.fence(FenceRole::NonCritical);
+                ops.fence_at(self.site, FenceRole::NonCritical);
                 let tail = ops.load(self.deque.tail);
                 self.state = StealSt::WaitTail { head: h, tail };
                 None
@@ -264,6 +278,158 @@ impl Steal {
             }
         }
     }
+}
+
+/// The owner's `take()` fence site in the two-thread driver.
+pub fn owner_site() -> FenceSite {
+    FenceSite(0)
+}
+
+/// The thief's `steal()` fence site in the two-thread driver.
+pub fn thief_site() -> FenceSite {
+    FenceSite(1)
+}
+
+/// Slot capacity used by the driver's deque.
+pub const DRIVER_CAPACITY: u64 = 16;
+
+/// Rebuilds the driver's deque layout (deterministic, so site analysis
+/// and program construction agree on every address).
+pub fn driver_layout(cfg: &asymfence_common::config::MachineConfig) -> DequeLayout {
+    let mut alloc = AddressAllocator::new(cfg.line_bytes, cfg.word_bytes);
+    DequeLayout::new(&mut alloc, DRIVER_CAPACITY)
+}
+
+#[derive(Clone, Debug)]
+enum DriverSt {
+    Idle,
+    Taking(Take),
+    Stealing(Steal),
+}
+
+/// A minimal two-thread deque exerciser for fence-assignment synthesis:
+/// the owner (`tid 0`) repeatedly pushes one task and takes one back; the
+/// thief (`tid 1`) repeatedly steals. Always terminates — every `take` /
+/// `steal` resolves to `Got` or `Empty` — so broken assignments surface
+/// as SC violations or deadlocks, never as livelock.
+#[derive(Clone, Debug)]
+pub struct WsqDriver {
+    tid: usize,
+    deque: DequeLayout,
+    rounds: u64,
+    local_tail: u64,
+    next_task: u64,
+    rng: asymfence_common::rng::SimRng,
+    ops: Ops,
+    state: DriverSt,
+    /// Tasks obtained (take or steal `Got`).
+    pub got: u64,
+}
+
+impl WsqDriver {
+    fn step(&mut self) -> bool {
+        match std::mem::replace(&mut self.state, DriverSt::Idle) {
+            DriverSt::Idle => {
+                if self.rounds == 0 {
+                    return false;
+                }
+                self.rounds -= 1;
+                if self.tid == 0 {
+                    self.next_task += 1;
+                    self.local_tail = push(&self.deque, self.local_tail, self.next_task, &mut self.ops);
+                    self.ops.compute(8 + self.rng.below(16));
+                    let take =
+                        Take::start_at(&self.deque, self.local_tail, &mut self.ops, owner_site());
+                    self.state = DriverSt::Taking(take);
+                } else {
+                    self.ops.compute(40 + self.rng.below(60));
+                    let steal = Steal::start_at(&self.deque, &mut self.ops, thief_site());
+                    self.state = DriverSt::Stealing(steal);
+                }
+                true
+            }
+            DriverSt::Taking(mut take) => {
+                match take.poll(&mut self.ops) {
+                    None => self.state = DriverSt::Taking(take),
+                    Some(TakeOutcome::Got { new_tail, .. }) => {
+                        self.got += 1;
+                        self.local_tail = new_tail;
+                        self.state = DriverSt::Idle;
+                    }
+                    Some(TakeOutcome::Empty { new_tail }) => {
+                        self.local_tail = new_tail;
+                        self.state = DriverSt::Idle;
+                    }
+                }
+                true
+            }
+            DriverSt::Stealing(mut steal) => {
+                match steal.poll(&mut self.ops) {
+                    None => self.state = DriverSt::Stealing(steal),
+                    Some(StealOutcome::Got { .. }) => {
+                        self.got += 1;
+                        self.state = DriverSt::Idle;
+                    }
+                    Some(StealOutcome::Empty) => self.state = DriverSt::Idle,
+                }
+                true
+            }
+        }
+    }
+}
+
+impl asymfence::prelude::ThreadProgram for WsqDriver {
+    fn fetch(&mut self) -> asymfence::prelude::Fetch {
+        loop {
+            if let Some(f) = self.ops.poll() {
+                return f;
+            }
+            if !self.step() {
+                return asymfence::prelude::Fetch::Done;
+            }
+        }
+    }
+
+    fn deliver(&mut self, tag: u64, value: u64) {
+        self.ops.deliver(tag, value);
+    }
+
+    fn snapshot(&self) -> Box<dyn asymfence::prelude::ThreadProgram> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &str {
+        "wsq-driver"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Builds the two driver threads (owner then thief).
+pub fn driver_programs(
+    cfg: &asymfence_common::config::MachineConfig,
+    rounds: u64,
+    seed: u64,
+) -> Vec<Box<dyn asymfence::prelude::ThreadProgram>> {
+    let layout = driver_layout(cfg);
+    let mut root = asymfence_common::rng::SimRng::new(seed ^ 0x0575_0000);
+    (0..2)
+        .map(|tid| {
+            Box::new(WsqDriver {
+                tid,
+                deque: layout.clone(),
+                rounds,
+                local_tail: 0,
+                next_task: 0,
+                rng: root.fork(tid as u64),
+                ops: Ops::new(),
+                state: DriverSt::Idle,
+                got: 0,
+            }) as Box<dyn asymfence::prelude::ThreadProgram>
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -307,7 +473,8 @@ mod tests {
         assert!(matches!(
             is[1],
             Instr::Fence {
-                role: FenceRole::Critical
+                role: FenceRole::Critical,
+                ..
             }
         ));
         ops.deliver(head_tag, 0); // head = 0 <= t = 1
@@ -360,7 +527,7 @@ mod tests {
         let is = collect_until_wait(&mut ops);
         assert!(
             is.iter()
-                .any(|i| matches!(i, Instr::Fence { role: FenceRole::NonCritical })),
+                .any(|i| matches!(i, Instr::Fence { role: FenceRole::NonCritical, .. })),
             "thief fence is non-critical"
         );
         ops.deliver(tail, 0); // head+1 = 1 > tail = 0: empty

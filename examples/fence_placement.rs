@@ -49,7 +49,7 @@ fn realize(
             tag += 1;
         }
         if fences.contains(&i) {
-            instrs.push(Instr::Fence { role });
+            instrs.push(Instr::fence(role));
         }
     }
     ScriptProgram::new(instrs)

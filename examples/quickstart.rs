@@ -30,17 +30,13 @@ fn main() {
         let (a, ra) = ScriptProgram::new(vec![
             Instr::Store { addr: x, value: 1 },
             // The hot thread's fence: weak under WS+/SW+/W+.
-            Instr::Fence {
-                role: FenceRole::Critical,
-            },
+            Instr::fence(FenceRole::Critical),
             Instr::Load { addr: y, tag: Some(1) },
         ]);
         let (b, rb) = ScriptProgram::new(vec![
             Instr::Store { addr: y, value: 1 },
             // The rare thread's fence: strong under WS+/SW+.
-            Instr::Fence {
-                role: FenceRole::NonCritical,
-            },
+            Instr::fence(FenceRole::NonCritical),
             Instr::Load { addr: x, tag: Some(1) },
         ]);
         machine.add_thread(Box::new(a));

@@ -42,7 +42,7 @@ fn build_program(t: &GenThread, role: FenceRole, salt: u64) -> (ScriptProgram, R
                 addr: slot_addr(*slot),
                 value: salt * 1000 + i as u64 + 1,
             });
-            instrs.push(Instr::Fence { role });
+            instrs.push(Instr::fence(role));
         } else {
             instrs.push(Instr::Load {
                 addr: slot_addr(*slot),
