@@ -25,19 +25,34 @@ echo "== test (workspace, offline) =="
 cargo test -q --offline --workspace
 
 echo "== parallel harness smoke (jobs=2 == jobs=1, byte-for-byte) =="
-# The run engine must produce identical stdout and CSVs at any worker
-# count; run the full quick grid serially and with two workers and diff.
+# The run engine must produce identical stdout, CSVs, and telemetry
+# snapshots at any worker count; run the full quick grid serially and
+# with two workers and diff. ASF_TELEMETRY_DETERMINISTIC masks
+# wall-clock/RSS so the --metrics JSON is comparable byte-for-byte.
 if [ "$QUICK" != "quick" ]; then
   SMOKE="$(mktemp -d)"
   trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}"' EXIT
   for jobs in 1 2; do
     mkdir -p "$SMOKE/j$jobs"
     ( cd "$SMOKE/j$jobs" && \
-      ASF_QUICK=1 ASF_JOBS=$jobs ASF_PROGRESS=0 \
-        "$OLDPWD/target/release/all_experiments" > stdout.txt )
+      ASF_QUICK=1 ASF_JOBS=$jobs ASF_PROGRESS=0 ASF_TELEMETRY_DETERMINISTIC=1 \
+        "$OLDPWD/target/release/all_experiments" --metrics metrics.json \
+        > stdout.txt )
   done
   diff -u "$SMOKE/j1/stdout.txt" "$SMOKE/j2/stdout.txt"
   diff -r "$SMOKE/j1/results" "$SMOKE/j2/results"
+  diff -u "$SMOKE/j1/metrics.json" "$SMOKE/j2/metrics.json"
+
+  echo "== perf gate (perfdiff vs results/bench_baseline.json) =="
+  # Counters, derived ratios and fence percentiles must match the
+  # checked-in baseline exactly (wall fields are masked on both sides);
+  # schema or key drift fails. Re-bless by regenerating the baseline:
+  #   ASF_TELEMETRY_DETERMINISTIC=1 ASF_QUICK=1 ASF_PROGRESS=0 \
+  #     target/release/all_experiments --quick --metrics results/bench_baseline.json
+  # (run it in a scratch dir and copy the JSON in, so results/*.csv keep
+  # their full-run contents).
+  target/release/perfdiff --check results/bench_baseline.json \
+    "$SMOKE/j1/metrics.json"
 fi
 
 echo "== synthesis smoke (--quick, jobs=2 == jobs=1, byte-for-byte) =="

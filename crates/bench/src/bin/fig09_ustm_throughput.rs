@@ -4,9 +4,10 @@
 //! handling lives in [`asymfence_bench::cli`] and all simulation in the
 //! shared run engine ([`asymfence_bench::runner`]).
 
-use asymfence_bench::{cli, figures, ReportSink};
+use asymfence_bench::{cli, figures, metrics, ReportSink};
 
 fn main() {
     let (runner, opts) = cli::parse("fig09_ustm_throughput");
     figures::fig09(&runner, &opts, &mut ReportSink::stdout());
+    metrics::write_if_requested(&runner, &opts);
 }

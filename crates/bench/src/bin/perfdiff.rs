@@ -1,0 +1,101 @@
+//! Compares two `--metrics` snapshots and gates on regressions.
+//!
+//! ```text
+//! perfdiff BASE.json NEW.json [--wall-tolerance PCT] [--check]
+//! ```
+//!
+//! Loads two [`BenchSnapshot`]s, aligns their (section, workload,
+//! design) cells, and reports deltas. Deterministic quantities —
+//! simulation counters, derived ratios, fence-latency percentiles — are
+//! compared exactly (any drift is a behaviour change, not noise);
+//! wall-clock is gated at ±`--wall-tolerance` percent (default 50) and
+//! skipped where a side was masked to 0 by deterministic mode. Missing
+//! or extra cells and schema-version drift are failures.
+//!
+//! Exit status: `0` clean, `1` on any breach, `2` on usage/parse errors.
+//! `--check` is accepted for CI readability; gating is always on.
+
+use std::process::exit;
+
+use asymfence_common::telemetry::{diff, BenchSnapshot, DiffOptions};
+
+const USAGE: &str = "usage: perfdiff BASE.json NEW.json [--wall-tolerance PCT] [--check]\n\
+   compares two --metrics snapshots; exit 0 clean, 1 on breach, 2 on usage error\n\
+   counters/derived/percentiles gate exactly, wall-clock at +-PCT% (default 50,\n\
+   skipped where a side is 0, i.e. written under ASF_TELEMETRY_DETERMINISTIC=1)";
+
+fn load(path: &str) -> BenchSnapshot {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perfdiff: cannot read {path}: {e}");
+        exit(2);
+    });
+    BenchSnapshot::parse(&text).unwrap_or_else(|e| {
+        eprintln!("perfdiff: {path}: {e}");
+        exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut opts = DiffOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--wall-tolerance" => {
+                let pct: f64 = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("perfdiff: --wall-tolerance needs a percentage\n{USAGE}");
+                        exit(2);
+                    });
+                opts.wall_tolerance = pct / 100.0;
+                i += 2;
+            }
+            "--check" => i += 1,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("perfdiff: unknown flag `{flag}`\n{USAGE}");
+                exit(2);
+            }
+            path => {
+                paths.push(path);
+                i += 1;
+            }
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("{USAGE}");
+        exit(2);
+    }
+    let base = load(paths[0]);
+    let new = load(paths[1]);
+
+    println!(
+        "perfdiff: base `{}` ({} entries) vs new `{}` ({} entries)",
+        base.label,
+        base.entries.len(),
+        new.label,
+        new.entries.len()
+    );
+    let report = diff(&base, &new, &opts);
+    for note in &report.notes {
+        println!("  note: {note}");
+    }
+    for breach in &report.breaches {
+        println!("  BREACH: {breach}");
+    }
+    println!(
+        "perfdiff: {} cells compared, {} breach(es), {} note(s)",
+        report.compared,
+        report.breaches.len(),
+        report.notes.len()
+    );
+    if !report.clean() {
+        exit(1);
+    }
+}

@@ -10,11 +10,15 @@
 //! --quick           ~4x smaller pass (same as ASF_QUICK=1)
 //! --trace PATH      re-run one workload per design with the fence
 //!                   trace on and write Chrome-trace JSON to PATH
+//! --metrics PATH    write a harness-telemetry BenchSnapshot (JSON) to
+//!                   PATH when the run finishes (see `perfdiff`)
 //! --help            usage
 //! ```
 
 use asymfence::prelude::FenceDesign;
+use asymfence_common::telemetry;
 
+use crate::metrics::Collector;
 use crate::runner::Runner;
 use crate::DESIGNS;
 
@@ -33,6 +37,11 @@ pub struct Opts {
     /// per design to this path. Off by default; never changes the
     /// figure output (the histogram report goes to stderr).
     pub trace: Option<String>,
+    /// `--metrics`: write a harness-telemetry
+    /// [`BenchSnapshot`](asymfence_common::telemetry::BenchSnapshot)
+    /// JSON to this path when the run finishes. Off by default; never
+    /// changes the figure output (the snapshot note goes to stderr).
+    pub metrics: Option<String>,
 }
 
 impl Opts {
@@ -126,6 +135,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(
                 opts.trace = Some(value(i)?.clone());
                 i += 2;
             }
+            "--metrics" => {
+                opts.metrics = Some(value(i)?.clone());
+                i += 2;
+            }
             "--quick" => {
                 opts.quick = true;
                 i += 1;
@@ -140,12 +153,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(
 /// Usage text shared by the bench binaries.
 pub fn usage(bin: &str) -> String {
     format!(
-        "usage: {bin} [--jobs N] [--designs s+,ws+,sw+,w+,wee] [--filter SUBSTR] [--quick] [--trace PATH]\n\
+        "usage: {bin} [--jobs N] [--designs s+,ws+,sw+,w+,wee] [--filter SUBSTR] [--quick] [--trace PATH] [--metrics PATH]\n\
          \x20 --jobs N        worker threads (default: ASF_JOBS, then all cores)\n\
          \x20 --designs LIST  designs to report (S+ always runs as the baseline)\n\
          \x20 --filter SUBSTR only workloads whose name contains SUBSTR\n\
          \x20 --quick         ~4x smaller pass (same as ASF_QUICK=1)\n\
          \x20 --trace PATH    write a Perfetto-loadable fence trace to PATH\n\
+         \x20 --metrics PATH  write a harness-telemetry snapshot (JSON) to PATH;\n\
+         \x20                 compare snapshots with `perfdiff` (ASF_TELEMETRY_DETERMINISTIC=1\n\
+         \x20                 masks wall-clock for byte-stable baselines)\n\
          progress lines go to stderr; ASF_PROGRESS=0 silences, =1 forces"
     )
 }
@@ -155,7 +171,15 @@ pub fn usage(bin: &str) -> String {
 /// shared [`Opts`].
 pub fn parse(bin: &str) -> (Runner, Opts) {
     match parse_args(std::env::args().skip(1)) {
-        Ok((jobs, opts)) => (Runner::new(jobs), opts),
+        Ok((jobs, opts)) => {
+            let mut runner = Runner::new(jobs);
+            if opts.metrics.is_some() {
+                runner = runner.with_collector(std::sync::Arc::new(Collector::new(
+                    telemetry::deterministic_from_env(),
+                )));
+            }
+            (runner, opts)
+        }
         Err(msg) => {
             if msg.is_empty() {
                 println!("{}", usage(bin));
@@ -179,13 +203,14 @@ mod tests {
     fn parses_all_flags() {
         let (jobs, opts) = parse_args(s(&[
             "--jobs", "4", "--designs", "ws+,w+", "--filter", "fib", "--quick", "--trace",
-            "out.json",
+            "out.json", "--metrics", "metrics.json",
         ]))
         .unwrap();
         assert_eq!(jobs, Some(4));
         assert!(opts.quick);
         assert_eq!(opts.filter.as_deref(), Some("fib"));
         assert_eq!(opts.trace.as_deref(), Some("out.json"));
+        assert_eq!(opts.metrics.as_deref(), Some("metrics.json"));
         assert_eq!(
             opts.design_list(),
             vec![FenceDesign::SPlus, FenceDesign::WsPlus, FenceDesign::WPlus]
@@ -212,12 +237,14 @@ mod tests {
         assert!(parse_args(s(&["--jobs"])).is_err());
         assert!(parse_args(s(&["--designs", "q+"])).is_err());
         assert!(parse_args(s(&["--trace"])).is_err());
+        assert!(parse_args(s(&["--metrics"])).is_err());
     }
 
     #[test]
-    fn trace_defaults_off() {
+    fn trace_and_metrics_default_off() {
         let (_, opts) = parse_args(s(&[])).unwrap();
         assert!(opts.trace.is_none());
+        assert!(opts.metrics.is_none());
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::{RunResult, SEED, USTM_WINDOW};
 /// Figure 8: execution time of CilkApps, normalized to S+, broken down
 /// into busy / other-stall / fence-stall time.
 pub fn fig08(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
+    runner.begin_section("fig08_cilk");
     let cores = 8;
     sink.line(format!(
         "# Figure 8 — CilkApps execution time (normalized to S+), {cores} cores"
@@ -83,6 +84,7 @@ pub fn fig08(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
 /// Figure 9: transactional throughput of the ustm microbenchmarks,
 /// normalized to S+ (higher is better).
 pub fn fig09(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
+    runner.begin_section("fig09_ustm_throughput");
     let cores = 8;
     let window = if opts.quick { USTM_WINDOW / 4 } else { USTM_WINDOW };
     sink.line(format!(
@@ -139,6 +141,7 @@ pub fn fig09(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
 /// Figure 10: per-transaction breakdown of processor cycles for the ustm
 /// microbenchmarks (busy / other-stall / fence-stall), normalized to S+.
 pub fn fig10(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
+    runner.begin_section("fig10_ustm_breakdown");
     let cores = 8;
     let window = if opts.quick { USTM_WINDOW / 4 } else { USTM_WINDOW };
     sink.line("# Figure 10 — ustm per-transaction processor cycles (normalized to S+)");
@@ -212,6 +215,7 @@ pub fn fig10(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
 /// Figure 11: STAMP execution time, normalized to S+, with the cycle
 /// breakdown.
 pub fn fig11(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
+    runner.begin_section("fig11_stamp");
     let cores = 8;
     sink.line(format!(
         "# Figure 11 — STAMP execution time (normalized to S+), {cores} cores"
@@ -271,6 +275,7 @@ pub fn fig11(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
 /// Figure 12: scalability of the fence-stall reduction — total
 /// fence-stall time relative to S+ at 4..32 cores per workload group.
 pub fn fig12(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
+    runner.begin_section("fig12_scalability");
     let core_counts: Vec<usize> = if opts.quick { vec![4, 8] } else { vec![4, 8, 16, 32] };
     let designs: Vec<FenceDesign> = [FenceDesign::WsPlus, FenceDesign::WPlus, FenceDesign::Wee]
         .into_iter()
@@ -365,6 +370,7 @@ fn t_emit_scalability(sink: &mut ReportSink, t: &Table) {
 
 /// Table 4: characterization of the fence designs at 8 cores.
 pub fn table4(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
+    runner.begin_section("table4_characterization");
     let cores = 8;
     sink.line(format!(
         "# Table 4 — characterization of S+/WS+/W+/Wee at {cores} cores"
@@ -478,6 +484,7 @@ pub fn table4(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
 /// Figures 1, 3 and 4 as a litmus matrix, each case verified with the
 /// Shasha–Snir checker.
 pub fn litmus_matrix(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
+    runner.begin_section("litmus_matrix");
     use FenceRole::{Critical, NonCritical};
     sink.line("# Litmus matrix — figures 1d/1f/3a/3c/4b");
     sink.blank();
@@ -553,6 +560,7 @@ pub fn litmus_matrix(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
 
 /// Ablation sweeps beyond the paper (indexed in EXPERIMENTS.md).
 pub fn ablations(runner: &Runner, opts: &Opts, sink: &mut ReportSink) {
+    runner.begin_section("ablations");
     sink.line("# Ablations");
     sink.blank();
     // Union of every sweep's specs, so `--trace` picks representatives

@@ -36,6 +36,7 @@ use asymfence_workloads::ustm::UstmBench;
 
 pub mod cli;
 pub mod figures;
+pub mod metrics;
 pub mod report;
 pub mod runner;
 pub mod trace;

@@ -1,0 +1,296 @@
+//! The `--metrics` collector: harness-performance telemetry for the run
+//! engine.
+//!
+//! A [`Collector`] rides along on a [`Runner`] (attached by
+//! `cli::parse` when `--metrics PATH` is given). While a batch runs, the
+//! runner measures each spec's wall-clock and executes it with the
+//! fence-lifecycle trace enabled (pure observation — results are
+//! bit-identical, pinned by `runner_determinism.rs`); after the batch
+//! returns, the results are folded into the collector **serially in spec
+//! order**, so the accumulated state — entry order included — is
+//! deterministic at any worker count.
+//!
+//! Cells aggregate per `(section, workload, design)`: simulation
+//! counters and [`FenceTally`] histograms merge exactly (associative
+//! merges), wall-clock sums. [`Collector::snapshot`] renders everything
+//! as a [`BenchSnapshot`]; [`write_if_requested`] writes the JSON file.
+//!
+//! In deterministic mode ([`telemetry::DETERMINISTIC_ENV`]) every
+//! wall-clock/RSS field is masked to 0 *at collection time*, which makes
+//! snapshot bytes identical across worker counts and machines — the mode
+//! `results/bench_baseline.json` is generated with and ci.sh diffs
+//! under.
+
+use std::sync::Mutex;
+
+use asymfence::prelude::{FenceClass, TraceSink};
+use asymfence_common::telemetry::{
+    self, BenchSnapshot, FenceLatencySummary, MetricEntry, PhaseTimer, Stopwatch,
+};
+use asymfence_common::trace::FenceTally;
+use asymfence_common::MachineStats;
+
+use crate::cli::Opts;
+use crate::runner::{Runner, RunSpec};
+use crate::RunResult;
+
+/// Section name used before any `begin_section` call (single-figure
+/// binaries set a real section immediately; this only shows up for bare
+/// `Runner::run` callers like the timing harness).
+pub const DEFAULT_SECTION: &str = "main";
+
+#[derive(Debug)]
+struct EntryAgg {
+    section: String,
+    workload: String,
+    design: String,
+    runs: u64,
+    wall_ns: u64,
+    wall_min_ns: u64,
+    wall_max_ns: u64,
+    cycles: u64,
+    commits: u64,
+    aborts: u64,
+    stats: MachineStats,
+    tallies: [FenceTally; 3],
+}
+
+#[derive(Debug)]
+struct State {
+    section: String,
+    phases: PhaseTimer,
+    entries: Vec<EntryAgg>,
+}
+
+/// Accumulates harness telemetry across every batch a [`Runner`] runs.
+/// Shared via `Arc`, locked internally; all mutation happens serially
+/// (the runner records *after* its parallel fan-out returns), so the
+/// lock is never contended and the accumulated order is deterministic.
+#[derive(Debug)]
+pub struct Collector {
+    deterministic: bool,
+    lifetime: Stopwatch,
+    state: Mutex<State>,
+}
+
+impl Collector {
+    /// A fresh collector. `deterministic` masks every wall-clock/RSS
+    /// field to 0 at collection time (see the module docs); pass
+    /// [`telemetry::deterministic_from_env`] to honour the environment.
+    pub fn new(deterministic: bool) -> Self {
+        Collector {
+            deterministic,
+            lifetime: Stopwatch::start(),
+            state: Mutex::new(State {
+                section: DEFAULT_SECTION.to_string(),
+                phases: PhaseTimer::new(),
+                entries: Vec::new(),
+            }),
+        }
+    }
+
+    /// Whether wall-clock fields are being masked.
+    pub fn deterministic(&self) -> bool {
+        self.deterministic
+    }
+
+    /// Marks the start of a report section (figure name, `synth`, …):
+    /// subsequent runs aggregate under it and the per-section phase
+    /// timer switches over.
+    pub fn begin_section(&self, name: &str) {
+        let mut s = self.state.lock().unwrap();
+        s.section = name.to_string();
+        s.phases.enter(name);
+    }
+
+    /// Folds one executed spec into its `(section, workload, design)`
+    /// cell. Called serially in spec order by [`Runner::run`].
+    pub fn record(&self, spec: &RunSpec, result: &RunResult, wall_ns: u64, sink: &TraceSink) {
+        let wall_ns = if self.deterministic { 0 } else { wall_ns };
+        let mut s = self.state.lock().unwrap();
+        let (section, workload, design) =
+            (s.section.clone(), spec.workload.name(), spec.design.label());
+        let idx = match s.entries.iter().position(|e| {
+            e.section == section && e.workload == workload && e.design == design
+        }) {
+            Some(i) => i,
+            None => {
+                s.entries.push(EntryAgg {
+                    section,
+                    workload,
+                    design: design.to_string(),
+                    runs: 0,
+                    wall_ns: 0,
+                    wall_min_ns: u64::MAX,
+                    wall_max_ns: 0,
+                    cycles: 0,
+                    commits: 0,
+                    aborts: 0,
+                    stats: MachineStats::default(),
+                    tallies: Default::default(),
+                });
+                s.entries.len() - 1
+            }
+        };
+        let agg = &mut s.entries[idx];
+        agg.runs += 1;
+        agg.wall_ns += wall_ns;
+        agg.wall_min_ns = agg.wall_min_ns.min(wall_ns);
+        agg.wall_max_ns = agg.wall_max_ns.max(wall_ns);
+        agg.cycles += result.cycles;
+        agg.commits += result.commits;
+        agg.aborts += result.aborts;
+        agg.stats.merge(&result.stats);
+        for (i, class) in FenceClass::ALL.iter().enumerate() {
+            agg.tallies[i].merge(sink.tally(*class));
+        }
+    }
+
+    /// Renders everything collected so far as a [`BenchSnapshot`].
+    pub fn snapshot(&self, label: &str, quick: bool) -> BenchSnapshot {
+        let mut s = self.state.lock().unwrap();
+        s.phases.finish();
+        let mut snap = BenchSnapshot::new(label);
+        snap.deterministic = self.deterministic;
+        snap.quick = quick;
+        snap.total_wall_ns = if self.deterministic {
+            0
+        } else {
+            self.lifetime.elapsed_ns()
+        };
+        snap.peak_rss_bytes = if self.deterministic {
+            0
+        } else {
+            telemetry::peak_rss_bytes().unwrap_or(0)
+        };
+        snap.phases = s
+            .phases
+            .phases()
+            .iter()
+            .map(|(name, ns)| (name.clone(), if self.deterministic { 0 } else { *ns }))
+            .collect();
+        for agg in &s.entries {
+            let mut e = MetricEntry::new(&agg.section, &agg.workload, &agg.design);
+            e.runs = agg.runs;
+            e.sim_cycles = agg.cycles;
+            let a = agg.stats.aggregate();
+            e.instrs_retired = a.instrs_retired;
+            e.commits = agg.commits;
+            e.aborts = agg.aborts;
+            e.wall_ns = agg.wall_ns;
+            e.task_wall_min_ns = if agg.wall_min_ns == u64::MAX {
+                0
+            } else {
+                agg.wall_min_ns
+            };
+            e.task_wall_max_ns = agg.wall_max_ns;
+            e.derived = agg.stats.derived();
+            for (i, class) in FenceClass::ALL.iter().enumerate() {
+                if agg.tallies[i].issued > 0 {
+                    e.fences
+                        .push(FenceLatencySummary::from_tally(class.label(), &agg.tallies[i]));
+                }
+            }
+            snap.entries.push(e);
+        }
+        snap
+    }
+}
+
+/// Snapshot label derived from the `--metrics` path: the file stem
+/// (`results/bench_baseline.json` → `bench_baseline`).
+pub fn label_from_path(path: &str) -> String {
+    std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string())
+}
+
+/// If `--metrics PATH` was given (so the runner carries a collector),
+/// snapshots it and writes the JSON to the path. Called once by each
+/// binary after its sections finish; a note goes to **stderr**, so
+/// figure stdout stays byte-identical with and without `--metrics`.
+///
+/// # Panics
+///
+/// Panics if the metrics file cannot be written (consistent with how
+/// the report layer treats `results/` CSVs).
+pub fn write_if_requested(runner: &Runner, opts: &Opts) {
+    let (Some(path), Some(collector)) = (opts.metrics.as_deref(), runner.collector()) else {
+        return;
+    };
+    let snap = collector.snapshot(&label_from_path(path), opts.quick);
+    let json = snap.to_json();
+    std::fs::write(path, &json)
+        .unwrap_or_else(|e| panic!("cannot write metrics file {path}: {e}"));
+    eprintln!(
+        "== metrics snapshot -> {path} ({} entries, {} sections) ==",
+        snap.entries.len(),
+        snap.sections().len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asymfence::prelude::FenceDesign;
+    use asymfence_workloads::cilk::CilkApp;
+    use asymfence_workloads::ustm::UstmBench;
+
+    fn runs(collector: &Collector, specs: &[RunSpec]) {
+        for spec in specs {
+            let t = Stopwatch::start();
+            let (result, sink) = spec.execute_traced();
+            collector.record(spec, &result, t.elapsed_ns(), &sink);
+        }
+    }
+
+    #[test]
+    fn cells_aggregate_by_section_workload_design() {
+        let c = Collector::new(true);
+        c.begin_section("figX");
+        let spec = RunSpec::ustm(UstmBench::Counter, FenceDesign::WsPlus, 2, crate::SEED, 20_000);
+        runs(&c, &[spec, spec]); // same key twice
+        c.begin_section("figY");
+        runs(&c, &[RunSpec::cilk(CilkApp::Fib, FenceDesign::SPlus, 2, crate::SEED)]);
+
+        let snap = c.snapshot("t", true);
+        assert_eq!(snap.entries.len(), 2);
+        assert_eq!(snap.sections(), vec!["figX", "figY"]);
+        let cell = snap.entry("figX", "Counter", "WS+").unwrap();
+        assert_eq!(cell.runs, 2);
+        assert!(cell.sim_cycles > 0);
+        assert!(cell.instrs_retired > 0);
+        assert!(cell.commits > 0, "ustm counter commits transactions");
+        assert!(
+            cell.fences.iter().any(|f| f.issued > 0 && f.completed > 0),
+            "fence summaries only include classes that fired: {:?}",
+            cell.fences
+        );
+        // Deterministic mode masked every wall field.
+        assert_eq!(cell.wall_ns, 0);
+        assert_eq!(snap.total_wall_ns, 0);
+        assert_eq!(snap.peak_rss_bytes, 0);
+        assert!(snap.phases.iter().all(|(_, ns)| *ns == 0));
+    }
+
+    #[test]
+    fn non_deterministic_mode_keeps_wall_clock() {
+        let c = Collector::new(false);
+        c.begin_section("fig");
+        runs(&c, &[RunSpec::ustm(UstmBench::Counter, FenceDesign::SPlus, 2, crate::SEED, 20_000)]);
+        let snap = c.snapshot("t", false);
+        let cell = &snap.entries[0];
+        assert!(cell.wall_ns > 0);
+        assert!(cell.task_wall_min_ns > 0 && cell.task_wall_min_ns <= cell.task_wall_max_ns);
+        assert!(snap.total_wall_ns >= cell.wall_ns);
+        assert!(cell.sim_cycles_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn label_from_path_takes_the_stem() {
+        assert_eq!(label_from_path("results/bench_baseline.json"), "bench_baseline");
+        assert_eq!(label_from_path("out.json"), "out");
+        assert_eq!(label_from_path("snapshot"), "snapshot");
+    }
+}

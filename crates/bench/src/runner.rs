@@ -13,17 +13,22 @@
 //!
 //! Worker count: `--jobs N` on the binaries beats the `ASF_JOBS`
 //! environment variable beats [`std::thread::available_parallelism`].
-//! Progress lines (`[done/total] spec … (cycles, wall ms)`) go to stderr
-//! while a sweep runs; they are suppressed when stderr is not a terminal
-//! or `ASF_PROGRESS=0` (and forced on by `ASF_PROGRESS=1`).
+//! Progress lines (`[done/total] spec … (cycles, wall ms, eta ~…)`, the
+//! ETA projected from the batch's phase stopwatch) go to stderr while a
+//! sweep runs; they are suppressed when stderr is not a terminal or
+//! `ASF_PROGRESS=0` (and forced on by `ASF_PROGRESS=1`).
 
 use std::io::IsTerminal;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use asymfence::prelude::*;
 use asymfence_common::assign::FenceAssignment;
 use asymfence_common::par;
+use asymfence_common::telemetry::{human_ns, Stopwatch};
+
+use crate::metrics::Collector;
 use asymfence_workloads::cilk::{self, CilkApp};
 use asymfence_workloads::litmus;
 use asymfence_workloads::sites::SiteBench;
@@ -453,11 +458,13 @@ pub fn progress_from_env() -> bool {
 }
 
 /// Executes batches of [`RunSpec`]s over a worker pool with
-/// order-preserving aggregation.
-#[derive(Clone, Copy, Debug)]
+/// order-preserving aggregation. Optionally carries a telemetry
+/// [`Collector`] (`--metrics`), which every batch reports into.
+#[derive(Clone, Debug)]
 pub struct Runner {
     jobs: usize,
     progress: bool,
+    collector: Option<Arc<Collector>>,
 }
 
 impl Default for Runner {
@@ -474,6 +481,7 @@ impl Runner {
         Runner {
             jobs: par::resolve_jobs(explicit),
             progress: progress_from_env(),
+            collector: None,
         }
     }
 
@@ -482,6 +490,7 @@ impl Runner {
         Runner {
             jobs: jobs.max(1),
             progress: progress_from_env(),
+            collector: None,
         }
     }
 
@@ -490,6 +499,28 @@ impl Runner {
     pub fn progress(mut self, on: bool) -> Self {
         self.progress = on;
         self
+    }
+
+    /// Attaches a telemetry collector: every subsequent batch records
+    /// per-spec wall-clock, counters and fence tallies into it.
+    #[must_use]
+    pub fn with_collector(mut self, collector: Arc<Collector>) -> Self {
+        self.collector = Some(collector);
+        self
+    }
+
+    /// The attached telemetry collector, if any.
+    pub fn collector(&self) -> Option<&Arc<Collector>> {
+        self.collector.as_ref()
+    }
+
+    /// Marks the start of a report section on the collector (no-op
+    /// without one). Figure functions call this with their section name
+    /// so metric cells and phase timers group per figure.
+    pub fn begin_section(&self, name: &str) {
+        if let Some(c) = &self.collector {
+            c.begin_section(name);
+        }
     }
 
     /// The resolved worker count.
@@ -501,26 +532,58 @@ impl Runner {
     /// back in spec order, so downstream table/CSV emission is identical
     /// no matter the worker count. Each worker builds its own `Machine`
     /// per spec — no state is shared between runs.
+    ///
+    /// With a collector attached, specs execute with the fence trace on
+    /// (pure observation — identical results, pinned by
+    /// `runner_determinism.rs`) and are folded into the collector
+    /// *serially in spec order* after the fan-out returns, so the
+    /// telemetry is deterministic at any worker count too.
     pub fn run(&self, specs: &[RunSpec]) -> Vec<RunResult> {
         let total = specs.len();
         let done = AtomicUsize::new(0);
-        par::par_map(self.jobs, specs, |_, spec| {
+        let batch = Stopwatch::start();
+        let collecting = self.collector.is_some();
+        let outs = par::par_map(self.jobs, specs, |_, spec| {
             let t0 = Instant::now();
-            let result = spec.execute();
+            let (result, sink) = if collecting {
+                let (result, sink) = spec.execute_traced();
+                (result, Some(sink))
+            } else {
+                (spec.execute(), None)
+            };
+            let wall_ns = t0.elapsed().as_nanos() as u64;
             let n = done.fetch_add(1, Ordering::Relaxed) + 1;
             if self.progress {
-                eprintln!(
-                    "[{n}/{total}] {} ({} cycles, {} ms)",
+                let mut line = format!(
+                    "[{n}/{total}] {} ({} cycles, {} ms",
                     spec.label(),
                     result.cycles,
-                    t0.elapsed().as_millis()
+                    wall_ns / 1_000_000
                 );
+                if n < total {
+                    // ETA from the batch stopwatch: mean wall per
+                    // completed run times the runs still outstanding,
+                    // scaled down by the pool width.
+                    let eta = batch.elapsed_ns() / n as u64 * (total - n) as u64
+                        / self.jobs.min(total) as u64;
+                    line.push_str(&format!(", eta ~{}", human_ns(eta)));
+                }
+                line.push(')');
+                eprintln!("{line}");
             }
-            result
-        })
+            (result, wall_ns, sink)
+        });
+        if let Some(collector) = &self.collector {
+            for (spec, (result, wall_ns, sink)) in specs.iter().zip(&outs) {
+                let sink = sink.as_ref().expect("collecting => traced");
+                collector.record(spec, result, *wall_ns, sink);
+            }
+        }
+        outs.into_iter().map(|(result, _, _)| result).collect()
     }
 
-    /// Runs one spec (convenience for timers and tests).
+    /// Runs one spec (convenience for timers and tests; bypasses the
+    /// collector — telemetry follows batches).
     pub fn run_one(&self, spec: &RunSpec) -> RunResult {
         spec.execute()
     }

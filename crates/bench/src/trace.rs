@@ -74,21 +74,12 @@ pub fn histogram_report(label: &str, sink: &TraceSink) -> String {
             out,
             "           latency mean {:.1}  p50 {}  p90 {}  p99 {}  max {}  bounces/fence {:.3}",
             t.mean_latency(),
-            t.latency_percentile(50.0),
-            t.latency_percentile(90.0),
-            t.latency_percentile(99.0),
+            t.percentile(50.0),
+            t.percentile(90.0),
+            t.percentile(99.0),
             t.max_latency,
             t.bounces_per_fence()
         );
-        let mut hist = String::new();
-        for (i, &n) in t.latency_buckets.iter().enumerate() {
-            if n > 0 {
-                let _ = write!(hist, "  <2^{}:{n}", i + 1);
-            }
-        }
-        if !hist.is_empty() {
-            let _ = writeln!(out, "           latency histogram (cycles):{hist}");
-        }
     }
     if sink.unattributed_bounces() > 0 {
         let _ = writeln!(

@@ -5,8 +5,11 @@
 //! so the suite stays fast in debug builds; `ci.sh` repeats the
 //! comparison on the full `--quick` grid in release mode.
 
+use std::sync::Arc;
+
 use asymfence::prelude::FenceDesign;
 use asymfence_bench::cli::Opts;
+use asymfence_bench::metrics::Collector;
 use asymfence_bench::{figures, ReportSink, RunSpec, Runner, SiteMask, SEED};
 use asymfence_workloads::cilk::CilkApp;
 use asymfence_workloads::sites::SiteBench;
@@ -66,7 +69,7 @@ fn filtered_figure_is_identical_at_any_worker_count() {
         quick: true,
         designs: Some(vec![FenceDesign::WsPlus]),
         filter: Some("fib".to_string()),
-        trace: None,
+        ..Default::default()
     };
     let mut serial = ReportSink::capture();
     figures::fig08(&silent(1), &opts, &mut serial);
@@ -88,9 +91,7 @@ fn filtered_figure_is_identical_at_any_worker_count() {
 fn traced_figure_output_is_identical_to_untraced() {
     let plain = Opts {
         quick: true,
-        designs: None,
-        filter: None,
-        trace: None,
+        ..Default::default()
     };
     let path = std::env::temp_dir().join(format!("asf-trace-det-{}.json", std::process::id()));
     let traced = Opts {
@@ -123,6 +124,53 @@ fn traced_run_statistics_match_untraced() {
     assert_eq!(plain.commits, traced.commits);
     assert_eq!(plain.stats, traced.stats);
     assert!(sink.recorded() > 0);
+}
+
+/// The telemetry snapshot inherits the engine's guarantee: with
+/// wall-clock masked (deterministic collectors, as under
+/// `ASF_TELEMETRY_DETERMINISTIC=1`), the `--metrics` JSON bytes are
+/// identical at 1 and 8 workers. The collector records serially in spec
+/// order after each batch, so entry order, counters, derived ratios and
+/// fence percentiles cannot depend on scheduling.
+#[test]
+fn metrics_snapshot_bytes_are_identical_at_any_worker_count() {
+    let opts = Opts {
+        quick: true,
+        ..Default::default()
+    };
+    let snap = |jobs: usize| {
+        let collector = Arc::new(Collector::new(true));
+        let runner = silent(jobs).with_collector(Arc::clone(&collector));
+        let mut sink = ReportSink::capture();
+        figures::litmus_matrix(&runner, &opts, &mut sink);
+        figures::fig12(&runner, &opts, &mut sink);
+        collector.snapshot("det", true).to_json()
+    };
+    let serial = snap(1);
+    let parallel = snap(8);
+    assert_eq!(serial, parallel);
+    // Not vacuously empty: both figure sections and real counters made it in.
+    assert!(serial.contains("\"litmus_matrix\""));
+    assert!(serial.contains("\"fig12_scalability\""));
+    assert!(serial.contains("\"sim_cycles\""));
+    // Deterministic mode really masked the nondeterministic fields.
+    assert!(serial.contains("\"total_wall_ns\": 0"));
+}
+
+/// Collection is pure observation: attaching a collector to the runner
+/// leaves the figure's report bytes untouched (the collector re-routes
+/// execution through `execute_traced`, which is pinned elsewhere to
+/// return identical results).
+#[test]
+fn collected_figure_output_is_identical_to_uncollected() {
+    let opts = Opts::default();
+    let mut without = ReportSink::capture();
+    figures::litmus_matrix(&silent(2), &opts, &mut without);
+    let collected = silent(2).with_collector(Arc::new(Collector::new(true)));
+    let mut with = ReportSink::capture();
+    figures::litmus_matrix(&collected, &opts, &mut with);
+    assert_eq!(without.captured(), with.captured());
+    assert_eq!(without.csv("litmus_matrix"), with.csv("litmus_matrix"));
 }
 
 /// Per-site assignments are a pure override layer: installing the

@@ -4,10 +4,11 @@
 //! addresses and identifiers ([`ids`]), the machine configuration
 //! ([`config`]), per-site fence-strength assignments ([`assign`]),
 //! statistics counters ([`stats`]), deterministic
-//! fence-lifecycle tracing ([`trace`]), a deterministic RNG ([`rng`]), a
-//! hermetic property-testing harness ([`prop`]), scoped worker-pool
-//! parallelism for deterministic sweeps ([`par`]) and small utility
-//! containers ([`queue`]).
+//! fence-lifecycle tracing ([`trace`]), harness telemetry — wall-clock
+//! timers, metrics snapshots and the `perfdiff` engine ([`telemetry`]) —
+//! a deterministic RNG ([`rng`]), a hermetic property-testing harness
+//! ([`prop`]), scoped worker-pool parallelism for deterministic sweeps
+//! ([`par`]) and small utility containers ([`queue`]).
 //!
 //! # Examples
 //!
@@ -33,6 +34,7 @@ pub mod queue;
 pub mod rng;
 pub mod scvlog;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 
 pub use assign::{FenceAssignment, SearchStats, SiteStrength};
@@ -41,4 +43,5 @@ pub use ids::{Addr, BankId, CoreId, Cycle, LineAddr, WordIdx};
 pub use rng::SimRng;
 pub use scvlog::{ScvEvent, ScvLog};
 pub use stats::{CoreStats, DerivedStats, MachineStats, StallKind};
+pub use telemetry::{BenchSnapshot, MetricEntry, PhaseTimer, Stopwatch};
 pub use trace::{FenceClass, FenceSpan, FenceTally, TraceEvent, TraceKind, TraceSink};

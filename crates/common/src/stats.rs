@@ -272,6 +272,11 @@ impl MachineStats {
             remote_ps_stalls_per_wf: ratio(a.remote_ps_stalls, a.wf_count),
             early_retired_load_fraction: ratio(a.early_retired_loads, a.loads),
             retry_traffic_pct: self.traffic.retry_increase_pct(),
+            bs_overflows_per_wf: ratio(a.bs_overflows, a.wf_count),
+            bs_peak_lines: a.bs_peak as f64,
+            load_squash_fraction: ratio(a.load_squashes, a.loads),
+            l1_miss_rate: ratio(a.l1_misses, a.l1_hits + a.l1_misses),
+            bytes_per_message: ratio(self.traffic.total_bytes(), self.traffic.messages),
         }
     }
 }
@@ -318,6 +323,79 @@ pub struct DerivedStats {
     pub early_retired_load_fraction: f64,
     /// Percentage traffic increase from bounce retries (Table 4).
     pub retry_traffic_pct: f64,
+    /// Bypass-Set overflows (wf degraded to sf) per weak fence.
+    pub bs_overflows_per_wf: f64,
+    /// Peak Bypass-Set occupancy observed on any core (lines).
+    pub bs_peak_lines: f64,
+    /// Fraction of loads squashed by conflicting invalidations — the
+    /// speculation the designs pay for reordering.
+    pub load_squash_fraction: f64,
+    /// L1 miss rate over all load/store accesses.
+    pub l1_miss_rate: f64,
+    /// Mean bytes per NoC message (payload efficiency of the protocol).
+    pub bytes_per_message: f64,
+}
+
+impl DerivedStats {
+    /// Every field as a stable `(name, value)` list, in declaration
+    /// order. This is the single source of truth the telemetry snapshot
+    /// serializer and `perfdiff` iterate, so a field added here is
+    /// automatically persisted and regression-gated.
+    pub fn fields(&self) -> [(&'static str, f64); 19] {
+        [
+            ("fence_stall_fraction", self.fence_stall_fraction),
+            ("fence_stall_per_fence", self.fence_stall_per_fence),
+            ("fences_per_kilo_instr", self.fences_per_kilo_instr),
+            ("weak_fence_fraction", self.weak_fence_fraction),
+            ("bs_lines_per_wf", self.bs_lines_per_wf),
+            ("bounces_per_wf", self.bounces_per_wf),
+            ("retries_per_bounced_write", self.retries_per_bounced_write),
+            ("order_ops_per_wf", self.order_ops_per_wf),
+            ("cond_order_failure_rate", self.cond_order_failure_rate),
+            ("recoveries_per_wf", self.recoveries_per_wf),
+            ("demotion_fraction", self.demotion_fraction),
+            ("remote_ps_stalls_per_wf", self.remote_ps_stalls_per_wf),
+            (
+                "early_retired_load_fraction",
+                self.early_retired_load_fraction,
+            ),
+            ("retry_traffic_pct", self.retry_traffic_pct),
+            ("bs_overflows_per_wf", self.bs_overflows_per_wf),
+            ("bs_peak_lines", self.bs_peak_lines),
+            ("load_squash_fraction", self.load_squash_fraction),
+            ("l1_miss_rate", self.l1_miss_rate),
+            ("bytes_per_message", self.bytes_per_message),
+        ]
+    }
+
+    /// Sets a field by its [`DerivedStats::fields`] name; `false` if the
+    /// name is unknown (snapshot schema drift).
+    pub fn set_field(&mut self, name: &str, value: f64) -> bool {
+        let slot = match name {
+            "fence_stall_fraction" => &mut self.fence_stall_fraction,
+            "fence_stall_per_fence" => &mut self.fence_stall_per_fence,
+            "fences_per_kilo_instr" => &mut self.fences_per_kilo_instr,
+            "weak_fence_fraction" => &mut self.weak_fence_fraction,
+            "bs_lines_per_wf" => &mut self.bs_lines_per_wf,
+            "bounces_per_wf" => &mut self.bounces_per_wf,
+            "retries_per_bounced_write" => &mut self.retries_per_bounced_write,
+            "order_ops_per_wf" => &mut self.order_ops_per_wf,
+            "cond_order_failure_rate" => &mut self.cond_order_failure_rate,
+            "recoveries_per_wf" => &mut self.recoveries_per_wf,
+            "demotion_fraction" => &mut self.demotion_fraction,
+            "remote_ps_stalls_per_wf" => &mut self.remote_ps_stalls_per_wf,
+            "early_retired_load_fraction" => &mut self.early_retired_load_fraction,
+            "retry_traffic_pct" => &mut self.retry_traffic_pct,
+            "bs_overflows_per_wf" => &mut self.bs_overflows_per_wf,
+            "bs_peak_lines" => &mut self.bs_peak_lines,
+            "load_squash_fraction" => &mut self.load_squash_fraction,
+            "l1_miss_rate" => &mut self.l1_miss_rate,
+            "bytes_per_message" => &mut self.bytes_per_message,
+            _ => return false,
+        };
+        *slot = value;
+        true
+    }
 }
 
 impl fmt::Display for MachineStats {
@@ -483,6 +561,48 @@ mod tests {
         };
         a.merge(&dead);
         assert!(a.deadlocked);
+    }
+
+    #[test]
+    fn derived_surfaces_every_collected_counter() {
+        // The PR-3 counters that used to be collected-but-dropped now
+        // land in derived() ratios.
+        let mut m = MachineStats::default();
+        m.cores.push(CoreStats {
+            loads: 100,
+            wf_count: 4,
+            bs_overflows: 2,
+            bs_peak: 7,
+            load_squashes: 5,
+            l1_misses: 10,
+            l1_hits: 30,
+            ..Default::default()
+        });
+        m.traffic = TrafficStats {
+            base_bytes: 3000,
+            retry_bytes: 200,
+            messages: 40,
+        };
+        let d = m.derived();
+        assert!((d.bs_overflows_per_wf - 0.5).abs() < 1e-12);
+        assert_eq!(d.bs_peak_lines, 7.0);
+        assert!((d.load_squash_fraction - 0.05).abs() < 1e-12);
+        assert!((d.l1_miss_rate - 0.25).abs() < 1e-12);
+        assert!((d.bytes_per_message - 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derived_fields_round_trip_by_name() {
+        let mut src = DerivedStats::default();
+        // Give every field a distinct value via the name API...
+        for (i, (name, _)) in DerivedStats::default().fields().iter().enumerate() {
+            assert!(src.set_field(name, i as f64 + 0.5), "unknown field {name}");
+        }
+        // ...and read them all back through fields().
+        for (i, (name, v)) in src.fields().iter().enumerate() {
+            assert_eq!(*v, i as f64 + 0.5, "field {name} lost its value");
+        }
+        assert!(!src.set_field("no_such_field", 1.0));
     }
 
     #[test]

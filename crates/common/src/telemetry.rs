@@ -1,0 +1,1172 @@
+//! Harness telemetry: wall-clock timers, machine-readable metrics
+//! snapshots, and the snapshot diff engine behind `perfdiff`.
+//!
+//! Everything before this module observed the *simulated* machine
+//! ([`crate::stats`], [`crate::trace`]); this module observes the
+//! harness itself — how long each phase took, how many simulator runs
+//! per wall-clock second the worker pool sustained, how much memory the
+//! process peaked at — and serializes it as a [`BenchSnapshot`]: one
+//! [`MetricEntry`] per (section, workload, design) cell carrying
+//! wall-clock, throughput, the full [`DerivedStats`] ratio block and
+//! per-class fence-latency percentiles.
+//!
+//! Like the rest of the workspace the module is zero-dependency: JSON is
+//! written and parsed by the hand-rolled [`Json`] value type (object key
+//! order is preserved, floats render in Rust's shortest round-trip form,
+//! so equal snapshots are equal bytes).
+//!
+//! Determinism: wall-clock and RSS are inherently machine-dependent, so
+//! they are the *only* nondeterministic fields in a snapshot. Setting
+//! [`DETERMINISTIC_ENV`] (`ASF_TELEMETRY_DETERMINISTIC=1`) zeroes them
+//! at collection time, which makes snapshot bytes identical at any
+//! worker count — that is what the checked-in `results/bench_baseline.json`
+//! is generated with and what CI diffs against.
+//!
+//! # Examples
+//!
+//! ```
+//! use asymfence_common::telemetry::{BenchSnapshot, MetricEntry, diff, DiffOptions};
+//!
+//! let mut a = BenchSnapshot::new("base");
+//! a.entries.push(MetricEntry::new("fig08", "fib", "WS+"));
+//! a.entries[0].sim_cycles = 1000;
+//! let json = a.to_json();
+//! let b = BenchSnapshot::parse(&json).unwrap();
+//! assert!(diff(&a, &b, &DiffOptions::default()).clean());
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crate::stats::DerivedStats;
+use crate::trace::FenceTally;
+
+/// Snapshot schema version; [`diff`] refuses to compare across versions.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Environment variable zeroing wall-clock/RSS fields at collection time
+/// (`ASF_TELEMETRY_DETERMINISTIC=1`), making snapshot bytes identical at
+/// any worker count and on any machine.
+pub const DETERMINISTIC_ENV: &str = "ASF_TELEMETRY_DETERMINISTIC";
+
+/// Whether the environment requests deterministic (timing-masked)
+/// telemetry.
+pub fn deterministic_from_env() -> bool {
+    std::env::var(DETERMINISTIC_ENV).is_ok_and(|v| v != "0")
+}
+
+/// Peak resident-set size of this process in bytes, sampled from
+/// `/proc/self/status` (`VmHWM`). `None` where procfs is unavailable
+/// (non-Linux), so callers degrade to 0 instead of failing.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// A monotonic stopwatch (thin wrapper over [`Instant`], so call sites
+/// read as telemetry rather than ad-hoc timing).
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::start()
+    }
+}
+
+/// Accumulating named phase timers: `enter` closes the previous phase
+/// and opens the next, so a linear pipeline (parse → run section A →
+/// run section B → serialize) gets per-phase wall-clock with one call
+/// per transition. Re-entering a name accumulates into it.
+#[derive(Debug, Default)]
+pub struct PhaseTimer {
+    phases: Vec<(String, u64)>,
+    current: Option<(String, Instant)>,
+}
+
+impl PhaseTimer {
+    /// An empty timer with no open phase.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Closes the current phase (if any) and opens `name`.
+    pub fn enter(&mut self, name: &str) {
+        self.finish();
+        self.current = Some((name.to_string(), Instant::now()));
+    }
+
+    /// Closes the current phase without opening a new one.
+    pub fn finish(&mut self) {
+        if let Some((name, start)) = self.current.take() {
+            let ns = start.elapsed().as_nanos() as u64;
+            match self.phases.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, total)) => *total += ns,
+                None => self.phases.push((name, ns)),
+            }
+        }
+    }
+
+    /// Completed phases in first-entry order as `(name, total_ns)`.
+    pub fn phases(&self) -> &[(String, u64)] {
+        &self.phases
+    }
+}
+
+/// Formats a nanosecond count for progress lines (`850ms`, `12.3s`,
+/// `2m05s`).
+pub fn human_ns(ns: u64) -> String {
+    let secs = ns as f64 / 1e9;
+    if secs >= 60.0 {
+        format!("{}m{:02}s", (secs / 60.0) as u64, (secs % 60.0) as u64)
+    } else if secs >= 1.0 {
+        format!("{secs:.1}s")
+    } else {
+        format!("{}ms", ns / 1_000_000)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+/// A JSON value with order-preserving objects, written and parsed
+/// in-repo (the workspace builds `--offline` with no external crates).
+///
+/// Rendering is deterministic: object keys keep insertion order and
+/// floats use Rust's shortest round-trip `Display`, so equal values are
+/// equal bytes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (integers render without a decimal point while they
+    /// fit `f64` exactly).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer (rejects negatives/fractions).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Renders pretty-printed JSON (2-space indent, trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => render_num(out, *n),
+            Json::Str(s) => render_str(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    render_str(out, k);
+                    out.push_str(": ");
+                    v.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document (one value, optionally surrounded by
+    /// whitespace).
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let bytes = s.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(v)
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn render_num(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no Inf/NaN; these only arise from a division bug, so
+        // encode as null-adjacent zero rather than emitting invalid JSON.
+        out.push('0');
+    } else if n.fract() == 0.0 && n.abs() < 2f64.powi(53) {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn render_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at offset {pos}", c as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_str(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_num(b, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at offset {pos}"))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len()
+        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    s.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number `{s}` at offset {start}"))
+}
+
+fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let n = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                        out.push(char::from_u32(n).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at offset {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance one whole UTF-8 scalar.
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at offset {pos}")),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_str(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        fields.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at offset {pos}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+/// Per-class fence-latency summary inside a [`MetricEntry`], distilled
+/// from the exact [`FenceTally`] histograms of the entry's runs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FenceLatencySummary {
+    /// Class label (`sf` / `wf` / `wee-wf`).
+    pub class: String,
+    /// Fences issued.
+    pub issued: u64,
+    /// Fences completed.
+    pub completed: u64,
+    /// Median issue→complete latency (log2-bucket upper bound).
+    pub p50: u64,
+    /// 90th-percentile latency.
+    pub p90: u64,
+    /// 99th-percentile latency.
+    pub p99: u64,
+    /// Largest completed-fence latency.
+    pub max: u64,
+    /// Mean latency over completed fences.
+    pub mean: f64,
+}
+
+impl FenceLatencySummary {
+    /// Distills one class's tally (percentiles from the log2 buckets).
+    pub fn from_tally(class: &str, t: &FenceTally) -> Self {
+        FenceLatencySummary {
+            class: class.to_string(),
+            issued: t.issued,
+            completed: t.completed,
+            p50: t.percentile(50.0),
+            p90: t.percentile(90.0),
+            p99: t.percentile(99.0),
+            max: t.max_latency,
+            mean: t.mean_latency(),
+        }
+    }
+}
+
+/// One (section, workload, design) cell of a [`BenchSnapshot`]: exact
+/// simulation counters, the derived ratio block, fence-latency
+/// percentiles and (unless deterministic mode masked them) wall-clock.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricEntry {
+    /// Report section (figure/table name, `synth`, `explore`, …).
+    pub section: String,
+    /// Workload name.
+    pub workload: String,
+    /// Fence-design label.
+    pub design: String,
+    /// Simulator runs aggregated into this cell.
+    pub runs: u64,
+    /// Total simulated cycles across the runs.
+    pub sim_cycles: u64,
+    /// Total instructions retired.
+    pub instrs_retired: u64,
+    /// Committed transactions (STM workloads).
+    pub commits: u64,
+    /// Aborted transactions (STM workloads).
+    pub aborts: u64,
+    /// Total wall-clock of the runs, ns (0 in deterministic mode).
+    pub wall_ns: u64,
+    /// Fastest single run, ns (0 in deterministic mode).
+    pub task_wall_min_ns: u64,
+    /// Slowest single run, ns (0 in deterministic mode).
+    pub task_wall_max_ns: u64,
+    /// The full derived-ratio block ([`DerivedStats`]).
+    pub derived: DerivedStats,
+    /// Per-class fence-latency summaries (classes with issued fences).
+    pub fences: Vec<FenceLatencySummary>,
+}
+
+impl MetricEntry {
+    /// A zeroed entry for the given key.
+    pub fn new(section: &str, workload: &str, design: &str) -> Self {
+        MetricEntry {
+            section: section.to_string(),
+            workload: workload.to_string(),
+            design: design.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// The alignment key `(section, workload, design)`.
+    pub fn key(&self) -> (String, String, String) {
+        (
+            self.section.clone(),
+            self.workload.clone(),
+            self.design.clone(),
+        )
+    }
+
+    /// Simulated cycles per wall-clock second (0 when wall is masked).
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        per_sec(self.sim_cycles, self.wall_ns)
+    }
+
+    /// Instructions retired per wall-clock second (0 when masked).
+    pub fn instrs_per_sec(&self) -> f64 {
+        per_sec(self.instrs_retired, self.wall_ns)
+    }
+
+    /// Simulator runs per wall-clock second (0 when masked).
+    pub fn runs_per_sec(&self) -> f64 {
+        per_sec(self.runs, self.wall_ns)
+    }
+
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("section".to_string(), Json::Str(self.section.clone())),
+            ("workload".to_string(), Json::Str(self.workload.clone())),
+            ("design".to_string(), Json::Str(self.design.clone())),
+            ("runs".to_string(), Json::Num(self.runs as f64)),
+            ("sim_cycles".to_string(), Json::Num(self.sim_cycles as f64)),
+            (
+                "instrs_retired".to_string(),
+                Json::Num(self.instrs_retired as f64),
+            ),
+            ("commits".to_string(), Json::Num(self.commits as f64)),
+            ("aborts".to_string(), Json::Num(self.aborts as f64)),
+            ("wall_ns".to_string(), Json::Num(self.wall_ns as f64)),
+            (
+                "task_wall_min_ns".to_string(),
+                Json::Num(self.task_wall_min_ns as f64),
+            ),
+            (
+                "task_wall_max_ns".to_string(),
+                Json::Num(self.task_wall_max_ns as f64),
+            ),
+            (
+                "sim_cycles_per_sec".to_string(),
+                Json::Num(self.sim_cycles_per_sec()),
+            ),
+            (
+                "instrs_per_sec".to_string(),
+                Json::Num(self.instrs_per_sec()),
+            ),
+            ("runs_per_sec".to_string(), Json::Num(self.runs_per_sec())),
+        ];
+        let derived: Vec<(String, Json)> = self
+            .derived
+            .fields()
+            .iter()
+            .map(|&(name, v)| (name.to_string(), Json::Num(v)))
+            .collect();
+        fields.push(("derived".to_string(), Json::Obj(derived)));
+        let fences: Vec<Json> = self
+            .fences
+            .iter()
+            .map(|f| {
+                Json::Obj(vec![
+                    ("class".to_string(), Json::Str(f.class.clone())),
+                    ("issued".to_string(), Json::Num(f.issued as f64)),
+                    ("completed".to_string(), Json::Num(f.completed as f64)),
+                    ("p50".to_string(), Json::Num(f.p50 as f64)),
+                    ("p90".to_string(), Json::Num(f.p90 as f64)),
+                    ("p99".to_string(), Json::Num(f.p99 as f64)),
+                    ("max".to_string(), Json::Num(f.max as f64)),
+                    ("mean".to_string(), Json::Num(f.mean)),
+                ])
+            })
+            .collect();
+        fields.push(("fence_latency".to_string(), Json::Arr(fences)));
+        Json::Obj(fields)
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let str_field = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("entry missing string field `{k}`"))
+        };
+        let u64_field = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("entry missing integer field `{k}`"))
+        };
+        let mut e = MetricEntry::new(
+            &str_field("section")?,
+            &str_field("workload")?,
+            &str_field("design")?,
+        );
+        e.runs = u64_field("runs")?;
+        e.sim_cycles = u64_field("sim_cycles")?;
+        e.instrs_retired = u64_field("instrs_retired")?;
+        e.commits = u64_field("commits")?;
+        e.aborts = u64_field("aborts")?;
+        e.wall_ns = u64_field("wall_ns")?;
+        e.task_wall_min_ns = u64_field("task_wall_min_ns")?;
+        e.task_wall_max_ns = u64_field("task_wall_max_ns")?;
+        let derived = v
+            .get("derived")
+            .ok_or("entry missing `derived`".to_string())?;
+        if let Json::Obj(fields) = derived {
+            for (name, val) in fields {
+                let val = val
+                    .as_f64()
+                    .ok_or_else(|| format!("derived field `{name}` is not a number"))?;
+                if !e.derived.set_field(name, val) {
+                    return Err(format!("unknown derived field `{name}` (schema drift)"));
+                }
+            }
+        } else {
+            return Err("`derived` is not an object".to_string());
+        }
+        for f in v
+            .get("fence_latency")
+            .and_then(Json::as_arr)
+            .ok_or("entry missing `fence_latency`".to_string())?
+        {
+            let get_u = |k: &str| -> Result<u64, String> {
+                f.get(k)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("fence_latency missing `{k}`"))
+            };
+            e.fences.push(FenceLatencySummary {
+                class: f
+                    .get("class")
+                    .and_then(Json::as_str)
+                    .ok_or("fence_latency missing `class`".to_string())?
+                    .to_string(),
+                issued: get_u("issued")?,
+                completed: get_u("completed")?,
+                p50: get_u("p50")?,
+                p90: get_u("p90")?,
+                p99: get_u("p99")?,
+                max: get_u("max")?,
+                mean: f
+                    .get("mean")
+                    .and_then(Json::as_f64)
+                    .ok_or("fence_latency missing `mean`".to_string())?,
+            });
+        }
+        Ok(e)
+    }
+}
+
+fn per_sec(count: u64, wall_ns: u64) -> f64 {
+    if wall_ns == 0 {
+        0.0
+    } else {
+        count as f64 * 1e9 / wall_ns as f64
+    }
+}
+
+/// A machine-readable harness-performance snapshot: metadata plus one
+/// [`MetricEntry`] per (section, workload, design) cell. Written as
+/// `BENCH_<label>.json` style files by `--metrics PATH` and compared by
+/// `perfdiff`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchSnapshot {
+    /// Snapshot label (usually the metrics file stem or a git sha).
+    pub label: String,
+    /// Wall/RSS fields were masked to 0 at collection time.
+    pub deterministic: bool,
+    /// The run used the `--quick` grid.
+    pub quick: bool,
+    /// Total harness wall-clock, ns (0 in deterministic mode).
+    pub total_wall_ns: u64,
+    /// Peak process RSS in bytes (0 in deterministic mode or off-Linux).
+    pub peak_rss_bytes: u64,
+    /// Per-phase wall-clock `(phase, ns)` in first-entry order (ns are 0
+    /// in deterministic mode).
+    pub phases: Vec<(String, u64)>,
+    /// The metric cells, in first-appearance order.
+    pub entries: Vec<MetricEntry>,
+}
+
+impl BenchSnapshot {
+    /// An empty snapshot with the given label.
+    pub fn new(label: &str) -> Self {
+        BenchSnapshot {
+            label: label.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Looks an entry up by key.
+    pub fn entry(&self, section: &str, workload: &str, design: &str) -> Option<&MetricEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.section == section && e.workload == workload && e.design == design)
+    }
+
+    /// Distinct section names, in first-appearance order.
+    pub fn sections(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for e in &self.entries {
+            if !out.contains(&e.section.as_str()) {
+                out.push(&e.section);
+            }
+        }
+        out
+    }
+
+    /// Serializes the snapshot as pretty-printed JSON. Deterministic:
+    /// equal snapshots are equal bytes.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("schema".to_string(), Json::Num(SCHEMA_VERSION as f64)),
+            ("label".to_string(), Json::Str(self.label.clone())),
+            ("deterministic".to_string(), Json::Bool(self.deterministic)),
+            ("quick".to_string(), Json::Bool(self.quick)),
+            (
+                "total_wall_ns".to_string(),
+                Json::Num(self.total_wall_ns as f64),
+            ),
+            (
+                "peak_rss_bytes".to_string(),
+                Json::Num(self.peak_rss_bytes as f64),
+            ),
+            (
+                "phases".to_string(),
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|(name, ns)| {
+                            Json::Obj(vec![
+                                ("name".to_string(), Json::Str(name.clone())),
+                                ("wall_ns".to_string(), Json::Num(*ns as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "entries".to_string(),
+                Json::Arr(self.entries.iter().map(MetricEntry::to_json).collect()),
+            ),
+        ])
+        .render()
+    }
+
+    /// Parses a snapshot previously written by [`BenchSnapshot::to_json`].
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let v = Json::parse(s)?;
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or("snapshot missing `schema`".to_string())?;
+        if schema != SCHEMA_VERSION {
+            return Err(format!(
+                "schema version mismatch: file has {schema}, this build expects {SCHEMA_VERSION}"
+            ));
+        }
+        let mut snap = BenchSnapshot::new(
+            v.get("label")
+                .and_then(Json::as_str)
+                .ok_or("snapshot missing `label`".to_string())?,
+        );
+        snap.deterministic = v
+            .get("deterministic")
+            .and_then(Json::as_bool)
+            .ok_or("snapshot missing `deterministic`".to_string())?;
+        snap.quick = v
+            .get("quick")
+            .and_then(Json::as_bool)
+            .ok_or("snapshot missing `quick`".to_string())?;
+        snap.total_wall_ns = v
+            .get("total_wall_ns")
+            .and_then(Json::as_u64)
+            .ok_or("snapshot missing `total_wall_ns`".to_string())?;
+        snap.peak_rss_bytes = v
+            .get("peak_rss_bytes")
+            .and_then(Json::as_u64)
+            .ok_or("snapshot missing `peak_rss_bytes`".to_string())?;
+        for p in v
+            .get("phases")
+            .and_then(Json::as_arr)
+            .ok_or("snapshot missing `phases`".to_string())?
+        {
+            snap.phases.push((
+                p.get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("phase missing `name`".to_string())?
+                    .to_string(),
+                p.get("wall_ns")
+                    .and_then(Json::as_u64)
+                    .ok_or("phase missing `wall_ns`".to_string())?,
+            ));
+        }
+        for e in v
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or("snapshot missing `entries`".to_string())?
+        {
+            snap.entries.push(MetricEntry::from_json(e)?);
+        }
+        Ok(snap)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Diff
+// ---------------------------------------------------------------------------
+
+/// Thresholds for [`diff`].
+#[derive(Clone, Copy, Debug)]
+pub struct DiffOptions {
+    /// Allowed relative wall-clock drift (0.5 = ±50%). Wall comparisons
+    /// are skipped when either side is 0 (deterministic-mode snapshots).
+    pub wall_tolerance: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions { wall_tolerance: 0.5 }
+    }
+}
+
+/// The outcome of comparing two snapshots.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Regressions / drifts that breach the thresholds. Empty = clean.
+    pub breaches: Vec<String>,
+    /// Informational deltas (within thresholds, or not gated at all).
+    pub notes: Vec<String>,
+    /// Entries compared key-by-key.
+    pub compared: usize,
+}
+
+impl DiffReport {
+    /// True when nothing breached.
+    pub fn clean(&self) -> bool {
+        self.breaches.is_empty()
+    }
+}
+
+fn f64_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Compares `new` against `base`: exact on every simulation counter,
+/// derived ratio and fence percentile (these are deterministic, so *any*
+/// drift is a behaviour change), threshold-gated on wall-clock (skipped
+/// when masked to 0), and strict on key alignment — a missing or extra
+/// (section, workload, design) cell is schema/coverage drift and fails.
+pub fn diff(base: &BenchSnapshot, new: &BenchSnapshot, opts: &DiffOptions) -> DiffReport {
+    let mut r = DiffReport::default();
+    for e in &base.entries {
+        let key = format!("{}/{}/{}", e.section, e.workload, e.design);
+        let Some(n) = new.entry(&e.section, &e.workload, &e.design) else {
+            r.breaches.push(format!("{key}: missing from new snapshot"));
+            continue;
+        };
+        r.compared += 1;
+        let mut exact = |name: &str, a: u64, b: u64| {
+            if a != b {
+                r.breaches
+                    .push(format!("{key}: {name} changed {a} -> {b}"));
+            }
+        };
+        exact("runs", e.runs, n.runs);
+        exact("sim_cycles", e.sim_cycles, n.sim_cycles);
+        exact("instrs_retired", e.instrs_retired, n.instrs_retired);
+        exact("commits", e.commits, n.commits);
+        exact("aborts", e.aborts, n.aborts);
+        for (&(name, a), &(_, b)) in e.derived.fields().iter().zip(n.derived.fields().iter()) {
+            if !f64_close(a, b) {
+                r.breaches
+                    .push(format!("{key}: derived.{name} changed {a} -> {b}"));
+            }
+        }
+        let classes: Vec<&str> = e.fences.iter().map(|f| f.class.as_str()).collect();
+        let new_classes: Vec<&str> = n.fences.iter().map(|f| f.class.as_str()).collect();
+        if classes != new_classes {
+            r.breaches.push(format!(
+                "{key}: fence classes changed {classes:?} -> {new_classes:?}"
+            ));
+        } else {
+            for (a, b) in e.fences.iter().zip(&n.fences) {
+                let mut fex = |name: &str, x: u64, y: u64| {
+                    if x != y {
+                        r.breaches.push(format!(
+                            "{key}: fence {}.{name} changed {x} -> {y}",
+                            a.class
+                        ));
+                    }
+                };
+                fex("issued", a.issued, b.issued);
+                fex("completed", a.completed, b.completed);
+                fex("p50", a.p50, b.p50);
+                fex("p90", a.p90, b.p90);
+                fex("p99", a.p99, b.p99);
+                fex("max", a.max, b.max);
+                if !f64_close(a.mean, b.mean) {
+                    r.breaches.push(format!(
+                        "{key}: fence {}.mean changed {} -> {}",
+                        a.class, a.mean, b.mean
+                    ));
+                }
+            }
+        }
+        wall_delta(&mut r, &key, e.wall_ns, n.wall_ns, opts.wall_tolerance);
+    }
+    for n in &new.entries {
+        if base.entry(&n.section, &n.workload, &n.design).is_none() {
+            r.breaches.push(format!(
+                "{}/{}/{}: not present in base snapshot",
+                n.section, n.workload, n.design
+            ));
+        }
+    }
+    wall_delta(
+        &mut r,
+        "total",
+        base.total_wall_ns,
+        new.total_wall_ns,
+        opts.wall_tolerance,
+    );
+    if base.peak_rss_bytes > 0 && new.peak_rss_bytes > 0 {
+        r.notes.push(format!(
+            "peak RSS {} -> {} bytes (not gated)",
+            base.peak_rss_bytes, new.peak_rss_bytes
+        ));
+    }
+    r
+}
+
+fn wall_delta(r: &mut DiffReport, key: &str, base: u64, new: u64, tol: f64) {
+    if base == 0 || new == 0 {
+        return; // masked (deterministic mode) on at least one side
+    }
+    let rel = (new as f64 - base as f64) / base as f64;
+    let line = format!(
+        "{key}: wall {} -> {} ({:+.1}%)",
+        human_ns(base),
+        human_ns(new),
+        100.0 * rel
+    );
+    if rel.abs() > tol {
+        r.breaches.push(line);
+    } else {
+        r.notes.push(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips() {
+        let src = r#"{"a": 1, "b": [true, null, "x\ny"], "c": {"d": 2.5, "e": -3}}"#;
+        let v = Json::parse(src).unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("b").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("c").unwrap().get("d").unwrap().as_f64(), Some(2.5));
+        let rendered = v.render();
+        assert_eq!(Json::parse(&rendered).unwrap(), v);
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("treu").is_err());
+    }
+
+    #[test]
+    fn numbers_render_integers_without_point() {
+        let mut s = String::new();
+        render_num(&mut s, 42.0);
+        assert_eq!(s, "42");
+        s.clear();
+        render_num(&mut s, 2.5);
+        assert_eq!(s, "2.5");
+        s.clear();
+        render_num(&mut s, f64::NAN);
+        assert_eq!(s, "0");
+    }
+
+    fn sample_snapshot() -> BenchSnapshot {
+        let mut snap = BenchSnapshot::new("unit");
+        snap.quick = true;
+        snap.phases.push(("run".to_string(), 1_000_000));
+        let mut e = MetricEntry::new("fig08", "fib", "WS+");
+        e.runs = 3;
+        e.sim_cycles = 120_000;
+        e.instrs_retired = 50_000;
+        e.wall_ns = 2_000_000_000;
+        e.derived.fence_stall_fraction = 0.25;
+        e.fences.push(FenceLatencySummary {
+            class: "wf".to_string(),
+            issued: 10,
+            completed: 10,
+            p50: 3,
+            p90: 7,
+            p99: 7,
+            max: 6,
+            mean: 3.2,
+        });
+        snap.entries.push(e);
+        snap.total_wall_ns = 2_000_000_000;
+        snap
+    }
+
+    #[test]
+    fn snapshot_round_trips_byte_exactly() {
+        let snap = sample_snapshot();
+        let json = snap.to_json();
+        let parsed = BenchSnapshot::parse(&json).unwrap();
+        assert_eq!(parsed, snap);
+        assert_eq!(parsed.to_json(), json, "render -> parse -> render is a fixpoint");
+    }
+
+    #[test]
+    fn snapshot_rejects_schema_drift() {
+        let json = sample_snapshot().to_json().replace("\"schema\": 1", "\"schema\": 999");
+        let err = BenchSnapshot::parse(&json).unwrap_err();
+        assert!(err.contains("schema version mismatch"), "{err}");
+    }
+
+    #[test]
+    fn diff_is_clean_on_equal_snapshots() {
+        let a = sample_snapshot();
+        let r = diff(&a, &a.clone(), &DiffOptions::default());
+        assert!(r.clean(), "{:?}", r.breaches);
+        assert_eq!(r.compared, 1);
+    }
+
+    #[test]
+    fn diff_catches_counter_and_key_drift() {
+        let a = sample_snapshot();
+        let mut b = a.clone();
+        b.entries[0].sim_cycles += 1;
+        let r = diff(&a, &b, &DiffOptions::default());
+        assert!(!r.clean());
+        assert!(r.breaches[0].contains("sim_cycles"), "{:?}", r.breaches);
+
+        let mut c = a.clone();
+        c.entries[0].design = "W+".to_string();
+        let r = diff(&a, &c, &DiffOptions::default());
+        assert_eq!(r.breaches.len(), 2, "one missing + one extra: {:?}", r.breaches);
+    }
+
+    #[test]
+    fn diff_gates_wall_clock_with_tolerance() {
+        let a = sample_snapshot();
+        let mut b = a.clone();
+        b.entries[0].wall_ns = a.entries[0].wall_ns * 2; // +100% > ±50%
+        b.total_wall_ns = a.total_wall_ns; // keep total clean
+        let r = diff(&a, &b, &DiffOptions::default());
+        assert_eq!(r.breaches.len(), 1);
+        assert!(r.breaches[0].contains("wall"), "{:?}", r.breaches);
+        // Within tolerance: note, not breach.
+        b.entries[0].wall_ns = a.entries[0].wall_ns + a.entries[0].wall_ns / 4;
+        assert!(diff(&a, &b, &DiffOptions::default()).clean());
+        // Masked on one side: skipped entirely.
+        b.entries[0].wall_ns = 0;
+        assert!(diff(&a, &b, &DiffOptions::default()).clean());
+    }
+
+    #[test]
+    fn diff_catches_fence_percentile_drift() {
+        let a = sample_snapshot();
+        let mut b = a.clone();
+        b.entries[0].fences[0].p99 = 99;
+        let r = diff(&a, &b, &DiffOptions::default());
+        assert!(!r.clean());
+        assert!(r.breaches[0].contains("wf.p99"), "{:?}", r.breaches);
+    }
+
+    #[test]
+    fn phase_timer_accumulates_by_name() {
+        let mut t = PhaseTimer::new();
+        t.enter("a");
+        t.enter("b");
+        t.enter("a");
+        t.finish();
+        let names: Vec<&str> = t.phases().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"], "re-entry accumulates, order is first-entry");
+    }
+
+    #[test]
+    fn human_ns_scales() {
+        assert_eq!(human_ns(5_000_000), "5ms");
+        assert_eq!(human_ns(2_500_000_000), "2.5s");
+        assert_eq!(human_ns(125_000_000_000), "2m05s");
+    }
+
+    #[test]
+    fn peak_rss_parses_on_linux() {
+        // On Linux this must produce a sane nonzero value; elsewhere None.
+        if let Some(rss) = peak_rss_bytes() {
+            assert!(rss > 1024 * 1024, "peak RSS under 1 MiB is implausible: {rss}");
+        }
+    }
+}

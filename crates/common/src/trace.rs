@@ -276,8 +276,9 @@ impl FenceTally {
 
     /// Approximate latency percentile (`p` in `0..=100`) from the log2
     /// buckets; returns the upper bound of the bucket the percentile
-    /// falls in.
-    pub fn latency_percentile(&self, p: f64) -> u64 {
+    /// falls in. This is what the stderr histogram report and the
+    /// telemetry snapshot cite as p50/p90/p99.
+    pub fn percentile(&self, p: f64) -> u64 {
         if self.completed == 0 {
             return 0;
         }
@@ -299,6 +300,26 @@ impl FenceTally {
         } else {
             self.bounces as f64 / self.issued as f64
         }
+    }
+
+    /// Folds another tally into this one (bucket-wise sums, max of
+    /// maxima). Associative with [`FenceTally::default`] as identity, so
+    /// per-run tallies can be aggregated in any grouping — the telemetry
+    /// collector relies on this to fold worker output deterministically.
+    pub fn merge(&mut self, other: &FenceTally) {
+        self.issued += other.issued;
+        self.completed += other.completed;
+        self.rolled_back += other.rolled_back;
+        self.demoted += other.demoted;
+        self.bounces += other.bounces;
+        for (a, b) in self.latency_buckets.iter_mut().zip(&other.latency_buckets) {
+            *a += b;
+        }
+        for (a, b) in self.bounce_buckets.iter_mut().zip(&other.bounce_buckets) {
+            *a += b;
+        }
+        self.total_latency += other.total_latency;
+        self.max_latency = self.max_latency.max(other.max_latency);
     }
 
     fn close(&mut self, latency: u64, bounces: u32, rolled_back: bool) {
@@ -787,9 +808,35 @@ mod tests {
             t.close(lat, 0, false);
         }
         assert_eq!(t.completed, 4);
-        assert!(t.latency_percentile(50.0) <= 7);
-        assert_eq!(t.latency_percentile(100.0), 800);
+        assert!(t.percentile(50.0) <= 7);
+        assert_eq!(t.percentile(100.0), 800);
         assert_eq!(t.max_latency, 800);
+    }
+
+    #[test]
+    fn tally_merge_matches_recording_in_one_sink() {
+        // Recording episodes into two tallies and merging equals
+        // recording them all into one (identity + associativity in the
+        // shape the collector uses).
+        let mut a = FenceTally::default();
+        let mut b = FenceTally::default();
+        let mut whole = FenceTally::default();
+        for (into_a, lat) in [(true, 3u64), (true, 900), (false, 64), (false, 5)] {
+            let t = if into_a { &mut a } else { &mut b };
+            t.close(lat, 1, false);
+            whole.close(lat, 1, false);
+        }
+        a.issued = 2;
+        b.issued = 2;
+        whole.issued = 4;
+        let mut merged = FenceTally::default();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+        assert_eq!(merged.percentile(100.0), 900);
+        let mut id = FenceTally::default();
+        id.merge(&FenceTally::default());
+        assert_eq!(id, FenceTally::default());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use std::process::ExitCode;
 
 use asymfence::prelude::FenceDesign;
+use asymfence_common::telemetry::{self, BenchSnapshot, MetricEntry, Stopwatch};
 use asymfence_explore::{ExploreConfig, Explorer, Scenario, ALL_DESIGNS};
 
 fn parse_design(s: &str) -> Option<Vec<FenceDesign>> {
@@ -41,7 +42,9 @@ const USAGE: &str = "usage: explore --scenario <sb-unfenced|sb-fenced|sb-padded|
   --jobs N    sweep worker threads (default: ASF_JOBS, then all cores);\n\
               reports are identical at any worker count\n\
   --trace PATH  on a violation, write the failing run's fence trace as\n\
-              Perfetto-loadable JSON (suffixed per design)";
+              Perfetto-loadable JSON (suffixed per design)\n\
+  --metrics PATH  write a harness-telemetry snapshot (JSON, one entry per\n\
+              design sweep) to PATH; compare snapshots with `perfdiff`";
 
 /// Writes a counterexample's trace next to `path`, suffixed with the
 /// design so `--design all` runs don't overwrite each other. Returns
@@ -63,13 +66,18 @@ fn main() -> ExitCode {
     let mut single_seed = None;
     let mut jobs = 0;
     let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut scenario_name = String::new();
 
     let mut i = 0;
     while i < args.len() {
         let need = |i: usize| -> Option<&String> { args.get(i + 1) };
         match args[i].as_str() {
             "--scenario" => match need(i).and_then(|v| parse_scenario(v)) {
-                Some(s) => scenario = Some(s),
+                Some(s) => {
+                    scenario = Some(s);
+                    scenario_name = args[i + 1].clone();
+                }
                 None => {
                     eprintln!("unknown scenario\n{USAGE}");
                     return ExitCode::from(2);
@@ -110,6 +118,13 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--metrics" => match need(i) {
+                Some(p) => metrics_path = Some(p.clone()),
+                None => {
+                    eprintln!("--metrics needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -128,11 +143,23 @@ fn main() -> ExitCode {
     };
 
     let ex = Explorer::new(cfg).with_jobs(jobs);
+    let deterministic = telemetry::deterministic_from_env();
+    let total = Stopwatch::start();
+    let mut entries: Vec<MetricEntry> = Vec::new();
+    let mut record = |design: FenceDesign, runs: u64, wall_ns: u64| {
+        let mut e = MetricEntry::new("explore", &scenario_name, &format!("{design:?}"));
+        e.runs = runs;
+        e.wall_ns = if deterministic { 0 } else { wall_ns };
+        entries.push(e);
+    };
     let mut dirty = false;
     for design in designs {
         let sc = scenario.clone().with_roles_for(design);
         if let Some(seed) = single_seed {
-            match ex.run_seed(&sc, design, seed) {
+            let sweep = Stopwatch::start();
+            let outcome = ex.run_seed(&sc, design, seed);
+            record(design, 1, sweep.elapsed_ns());
+            match outcome {
                 None => println!("{design:?} seed {seed}: clean"),
                 Some(f) => {
                     println!("{design:?} seed {seed}: FAILED\n{f}");
@@ -149,7 +176,9 @@ fn main() -> ExitCode {
             }
             continue;
         }
+        let sweep = Stopwatch::start();
         let report = ex.sweep(&sc, design);
+        record(design, report.runs, sweep.elapsed_ns());
         match &report.violation {
             None => println!(
                 "{design:?}: clean over {} seeds ({} runs)",
@@ -167,6 +196,29 @@ fn main() -> ExitCode {
                     }
                 }
                 dirty = true;
+            }
+        }
+    }
+    if let Some(path) = &metrics_path {
+        let stem = std::path::Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "explore".to_string());
+        let mut snap = BenchSnapshot::new(&stem);
+        snap.deterministic = deterministic;
+        snap.entries = entries;
+        if !deterministic {
+            snap.total_wall_ns = total.elapsed_ns();
+            snap.peak_rss_bytes = telemetry::peak_rss_bytes().unwrap_or(0);
+        }
+        match std::fs::write(path, snap.to_json()) {
+            Ok(()) => eprintln!(
+                "== metrics snapshot -> {path} ({} entries) ==",
+                snap.entries.len()
+            ),
+            Err(e) => {
+                eprintln!("cannot write metrics to {path}: {e}");
+                return ExitCode::from(2);
             }
         }
     }

@@ -39,6 +39,7 @@ pub fn seed_budget(quick: bool) -> u64 {
 /// Runs the full synthesis report into `sink`. Returns the merged
 /// search statistics (serial-equivalent, jobs-independent).
 pub fn run(runner: &Runner, opts: &Opts, sink: &mut ReportSink) -> SearchStats {
+    runner.begin_section("synth");
     let designs: Vec<FenceDesign> = match &opts.designs {
         None => SYNTH_DESIGNS.to_vec(),
         Some(ds) => ds.clone(),
@@ -52,7 +53,7 @@ pub fn run(runner: &Runner, opts: &Opts, sink: &mut ReportSink) -> SearchStats {
         seeds: seed_budget(opts.quick),
         ..Default::default()
     });
-    let mut synth = Synthesizer::new(explorer, *runner, asymfence_bench::SEED);
+    let mut synth = Synthesizer::new(explorer, runner.clone(), asymfence_bench::SEED);
     let mut trace = opts
         .trace
         .as_ref()
@@ -174,10 +175,13 @@ pub fn run(runner: &Runner, opts: &Opts, sink: &mut ReportSink) -> SearchStats {
 }
 
 /// The `synth` binary's entry point: parse shared flags, run the report
-/// to stdout + `results/`.
+/// to stdout + `results/`, and write the `--metrics` telemetry snapshot
+/// if one was requested (the scoring batches all flow through the
+/// runner, so the collector sees every charged simulator run).
 pub fn run_cli(runner: &Runner, opts: &Opts) {
     let mut sink = ReportSink::stdout();
     run(runner, opts, &mut sink);
+    asymfence_bench::metrics::write_if_requested(runner, opts);
 }
 
 #[cfg(test)]
