@@ -31,7 +31,7 @@ echo "== parallel harness smoke (jobs=2 == jobs=1, byte-for-byte) =="
 # wall-clock/RSS so the --metrics JSON is comparable byte-for-byte.
 if [ "$QUICK" != "quick" ]; then
   SMOKE="$(mktemp -d)"
-  trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}"' EXIT
+  trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}" "${EXH:-}"' EXIT
   for jobs in 1 2; do
     mkdir -p "$SMOKE/j$jobs"
     ( cd "$SMOKE/j$jobs" && \
@@ -61,7 +61,7 @@ echo "== synthesis smoke (--quick, jobs=2 == jobs=1, byte-for-byte) =="
 # stdout and the emitted CSVs.
 if [ "$QUICK" != "quick" ]; then
   SYNTH="$(mktemp -d)"
-  trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}"' EXIT
+  trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}" "${EXH:-}"' EXIT
   for jobs in 1 2; do
     mkdir -p "$SYNTH/j$jobs"
     ( cd "$SYNTH/j$jobs" && \
@@ -70,6 +70,31 @@ if [ "$QUICK" != "quick" ]; then
   done
   diff -u "$SYNTH/j1/stdout.txt" "$SYNTH/j2/stdout.txt"
   diff -r "$SYNTH/j1/results" "$SYNTH/j2/results"
+fi
+
+echo "== exhaustive exploration smoke (DPOR, jobs=2 == jobs=1, byte-for-byte) =="
+# The bounded-exhaustive walk over the litmus corpus must be
+# byte-identical at any worker count. The corpus contains known-violating
+# scenarios, so a nonzero exit from the corpus pass is expected — the
+# checks are the diff and the convictions below.
+if [ "$QUICK" != "quick" ]; then
+  EXH="$(mktemp -d)"
+  trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}" "${EXH:-}"' EXIT
+  for jobs in 1 2; do
+    ASF_PROGRESS=0 target/release/explore --scenario corpus --design all \
+      --exhaustive --quick --jobs $jobs > "$EXH/j$jobs.txt" || true
+  done
+  diff -u "$EXH/j1.txt" "$EXH/j2.txt"
+  grep -q "sb-unfenced/SPlus: VIOLATION" "$EXH/j1.txt"
+  grep -q "sb-fenced/SPlus: clean" "$EXH/j1.txt"
+  # The SW+ blind spot: the all-weak Dekker must be convicted by the
+  # bound-1 walk (the known violation the design taxonomy predicts).
+  if ASF_PROGRESS=0 target/release/explore --scenario sb-allweak --design SW+ \
+      --exhaustive --bound 1 > "$EXH/allweak.txt"; then
+    echo "FATAL: all-weak Dekker passed exhaustive exploration under SW+" >&2
+    exit 1
+  fi
+  grep -q "VIOLATION" "$EXH/allweak.txt"
 fi
 
 echo "== explorer smoke sweep =="

@@ -60,6 +60,17 @@ pub enum LitmusCase {
         /// Fence roles for the two threads.
         roles: (FenceRole, FenceRole),
     },
+    /// Message passing, optionally fenced — SC under TSO either way
+    /// (litmus-corpus case).
+    MessagePassing {
+        /// Fence roles for the two threads; `None` leaves them unfenced.
+        fences: Option<(FenceRole, FenceRole)>,
+    },
+    /// Load buffering — SC under TSO without fences (litmus-corpus case).
+    LoadBuffering,
+    /// Independent reads of independent writes, four threads — SC under
+    /// single-copy-atomic coherence without fences (litmus-corpus case).
+    Iriw,
 }
 
 impl LitmusCase {
@@ -67,6 +78,7 @@ impl LitmusCase {
     pub fn cores(&self) -> usize {
         match self {
             LitmusCase::ThreeThreadCycle { .. } => 3,
+            LitmusCase::Iriw => 4,
             _ => 2,
         }
     }
@@ -78,6 +90,12 @@ impl LitmusCase {
             LitmusCase::FalseSharingPair { roles } => {
                 litmus::false_sharing_pair(roles.0, roles.1)
             }
+            LitmusCase::MessagePassing { fences: None } => litmus::message_passing(),
+            LitmusCase::MessagePassing {
+                fences: Some((a, b)),
+            } => litmus::message_passing_fenced(a, b),
+            LitmusCase::LoadBuffering => litmus::load_buffering(),
+            LitmusCase::Iriw => litmus::iriw(),
         }
     }
 }
@@ -118,6 +136,10 @@ impl Workload {
                 LitmusCase::StoreBuffering { .. } => "sb-fenced".into(),
                 LitmusCase::ThreeThreadCycle { .. } => "3cycle".into(),
                 LitmusCase::FalseSharingPair { .. } => "false-sharing".into(),
+                LitmusCase::MessagePassing { fences: None } => "mp-unfenced".into(),
+                LitmusCase::MessagePassing { .. } => "mp-fenced".into(),
+                LitmusCase::LoadBuffering => "lb".into(),
+                LitmusCase::Iriw => "iriw".into(),
             },
             Workload::Sites(bench) => bench.name().to_string(),
         }
@@ -628,6 +650,23 @@ mod tests {
             assert_eq!(a.cycles, b.cycles);
             assert_eq!(a.commits, b.commits);
             assert_eq!(a.stats, b.stats);
+        }
+    }
+
+    #[test]
+    fn corpus_litmus_cases_finish_without_scv() {
+        use FenceRole::Critical;
+        for case in [
+            LitmusCase::MessagePassing { fences: None },
+            LitmusCase::MessagePassing {
+                fences: Some((Critical, Critical)),
+            },
+            LitmusCase::LoadBuffering,
+            LitmusCase::Iriw,
+        ] {
+            let r = RunSpec::litmus(case, FenceDesign::WPlus, crate::SEED).execute();
+            assert_eq!(r.outcome, RunOutcome::Finished, "{case:?}");
+            assert!(!r.scv, "{case:?} must stay SC");
         }
     }
 

@@ -13,6 +13,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use asymfence_common::config::MachineConfig;
 use asymfence_common::ids::{Addr, BankId, CoreId, Cycle, LineAddr};
+use asymfence_common::schedule::{ChoiceKind, ChoicePoint, ScheduleOracle, ScheduleRecording};
 use asymfence_common::stats::TrafficStats;
 use asymfence_common::trace::{TraceKind, TraceSink};
 use asymfence_common::trace_event;
@@ -174,8 +175,13 @@ pub struct MemSystem {
     local: BinaryHeap<Reverse<(Cycle, u64, usize, LocalEvSlot)>>,
     local_seq: u64,
     next_token: Token,
-    /// Monotone message counter feeding the perturbation draws.
+    /// Monotone message counter feeding the schedule oracle's
+    /// NoC/invalidation choice points.
     perturb_seq: u64,
+    /// The schedule oracle answering every nondeterminism point, built
+    /// from `MachineConfig::schedule`; `None` when the machine runs on
+    /// natural time (seeded plan with an inactive perturbation).
+    oracle: Option<Box<dyn ScheduleOracle>>,
     /// Fence-lifecycle trace sink; `None` unless `record_trace` is set.
     /// Pure observation — never read back by the protocol.
     trace: Option<TraceSink>,
@@ -219,6 +225,7 @@ impl MemSystem {
             })
             .collect();
         let trace = cfg.record_trace.then(|| TraceSink::new(cfg.fence_design));
+        let oracle = cfg.schedule.build_oracle(cfg.perturb);
         MemSystem {
             cfg: cfg.clone(),
             ports,
@@ -228,6 +235,7 @@ impl MemSystem {
             local_seq: 0,
             next_token: 1,
             perturb_seq: 0,
+            oracle,
             trace,
         }
     }
@@ -247,6 +255,30 @@ impl MemSystem {
     /// Removes and returns the trace sink, ending recording.
     pub fn take_trace(&mut self) -> Option<TraceSink> {
         self.trace.take()
+    }
+
+    /// Asks the schedule oracle how long a retired store waits in the
+    /// write buffer before becoming drainable. The core hands its own
+    /// id and store serial; `line` is the store's target line. Returns
+    /// 0 when the machine runs on natural time.
+    pub fn wb_drain_stall(&mut self, core: CoreId, serial: u64, line: LineAddr) -> u64 {
+        match self.oracle.as_mut() {
+            Some(orc) => orc.choose(&ChoicePoint {
+                kind: ChoiceKind::WbDrain,
+                core: core.0,
+                line: Some(line.raw()),
+                seq: serial,
+            }),
+            None => 0,
+        }
+    }
+
+    /// Hands back the schedule oracle's recording of every choice point
+    /// this run encountered (scripted plans only; the sampling oracle
+    /// records nothing). Exhaustive exploration reads this to extend
+    /// its choice tree from the frontier the run exposed.
+    pub fn take_schedule_recording(&mut self) -> Option<ScheduleRecording> {
+        self.oracle.as_mut().and_then(|o| o.take_recording())
     }
 
     /// The configuration this memory system was built with.
@@ -287,26 +319,24 @@ impl MemSystem {
                 TraceKind::NocHop { src: src as u16, dst: dst as u16, hops, msg: label }
             );
         }
-        let p = self.cfg.perturb;
-        let extra = if p.is_active() {
+        // Every message is a nondeterminism point: generic NoC jitter,
+        // with invalidation deliveries as their own point kind (they
+        // take extra lag, reordering invals against data replies and
+        // other sharers' invals). Per-pair FIFO is kept by the network
+        // layer, so any answer the oracle gives stays protocol-legal.
+        let extra = if let Some(orc) = self.oracle.as_mut() {
             self.perturb_seq += 1;
-            // Generic NoC jitter on every message, plus extra lag on
-            // invalidation deliveries (reorders invals against data
-            // replies and other sharers' invals; per-pair FIFO is kept
-            // by the network layer, so the protocol stays legal).
-            let mut e = p.draw(
-                asymfence_common::Perturbation::STREAM_NOC,
-                self.perturb_seq,
-                p.noc_jitter,
-            );
-            if matches!(msg, Msg::Inv { .. }) {
-                e += p.draw(
-                    asymfence_common::Perturbation::STREAM_INVAL,
-                    self.perturb_seq,
-                    p.inval_delay,
-                );
-            }
-            e
+            let kind = if matches!(msg, Msg::Inv { .. }) {
+                ChoiceKind::InvalDelivery
+            } else {
+                ChoiceKind::NocMessage
+            };
+            orc.choose(&ChoicePoint {
+                kind,
+                core: src,
+                line: msg.line().map(LineAddr::raw),
+                seq: self.perturb_seq,
+            })
         } else {
             0
         };

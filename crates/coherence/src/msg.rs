@@ -263,6 +263,32 @@ impl Msg {
             Msg::DowngradeAck { .. } => "DowngradeAck",
         }
     }
+
+    /// The cache line this message concerns, when it concerns one (GRT
+    /// traffic operates on fence serials / Pending Sets, not lines).
+    /// Schedule oracles use this to decide which deliveries conflict.
+    pub fn line(&self) -> Option<LineAddr> {
+        match self {
+            Msg::GetS { line, .. }
+            | Msg::GetX { line, .. }
+            | Msg::PutM { line, .. }
+            | Msg::Unblock { line, .. }
+            | Msg::DataS { line, .. }
+            | Msg::DataE { line, .. }
+            | Msg::DataM { line, .. }
+            | Msg::OrderDone { line, .. }
+            | Msg::NackBounce { line }
+            | Msg::NackBusy { line }
+            | Msg::Inv { line, .. }
+            | Msg::FetchDowngrade { line }
+            | Msg::InvAck { line, .. }
+            | Msg::DowngradeAck { line, .. } => Some(*line),
+            Msg::GrtDepositAndRead { .. }
+            | Msg::GrtRead { .. }
+            | Msg::GrtRemove { .. }
+            | Msg::GrtReply { .. } => None,
+        }
+    }
 }
 
 /// Byte-size model for traffic accounting: 8 B header + 8 B address, plus

@@ -229,6 +229,10 @@ pub struct MachineConfig {
     pub seed: u64,
     /// Deterministic timing perturbations (off by default).
     pub perturb: Perturbation,
+    /// How the machine sources schedule nondeterminism: sample seeded
+    /// jitter from `perturb` (the default) or replay a scripted
+    /// decision vector for bounded-exhaustive exploration.
+    pub schedule: crate::schedule::SchedulePlan,
     /// Explicit per-site fence-strength overrides
     /// ([`crate::assign::FenceAssignment`]). `None` (the default) and an
     /// empty assignment both leave every fence on the design's role
@@ -265,6 +269,7 @@ impl Default for MachineConfig {
             record_trace: false,
             seed: 0xA5F0_2015,
             perturb: Perturbation::default(),
+            schedule: crate::schedule::SchedulePlan::Seeded,
             fence_assignment: None,
         }
     }
@@ -347,6 +352,14 @@ impl MachineConfig {
         let p = &self.perturb;
         if p.noc_jitter.max(p.wb_stall).max(p.inval_delay) >= self.watchdog_cycles {
             return Err("perturbation delays must stay below watchdog_cycles".into());
+        }
+        if let crate::schedule::SchedulePlan::Scripted(s) = &self.schedule {
+            if s.arity < 2 {
+                return Err("scripted schedules need at least two options per point".into());
+            }
+            if s.quanta.max_delay(s.arity) >= self.watchdog_cycles {
+                return Err("scripted schedule delays must stay below watchdog_cycles".into());
+            }
         }
         Ok(())
     }
@@ -469,6 +482,12 @@ impl MachineConfigBuilder {
     /// Sets the deterministic timing perturbations.
     pub fn perturb(mut self, p: Perturbation) -> Self {
         self.cfg.perturb = p;
+        self
+    }
+
+    /// Sets the schedule plan (seeded sampling vs scripted replay).
+    pub fn schedule(mut self, plan: crate::schedule::SchedulePlan) -> Self {
+        self.cfg.schedule = plan;
         self
     }
 

@@ -6,7 +6,9 @@
 //! statistics counters ([`stats`]), deterministic
 //! fence-lifecycle tracing ([`trace`]), harness telemetry — wall-clock
 //! timers, metrics snapshots and the `perfdiff` engine ([`telemetry`]) —
-//! a deterministic RNG ([`rng`]), a hermetic property-testing harness
+//! a deterministic RNG ([`rng`]), schedule oracles that surface the
+//! simulator's nondeterminism points ([`schedule`]), a hermetic
+//! property-testing harness
 //! ([`prop`]), scoped worker-pool parallelism for deterministic sweeps
 //! ([`par`]) and small utility containers ([`queue`]).
 //!
@@ -32,6 +34,7 @@ pub mod par;
 pub mod prop;
 pub mod queue;
 pub mod rng;
+pub mod schedule;
 pub mod scvlog;
 pub mod stats;
 pub mod telemetry;
@@ -41,6 +44,10 @@ pub use assign::{FenceAssignment, SearchStats, SiteStrength};
 pub use config::{FenceDesign, MachineConfig, MachineConfigBuilder, Perturbation};
 pub use ids::{Addr, BankId, CoreId, Cycle, LineAddr, WordIdx};
 pub use rng::SimRng;
+pub use schedule::{
+    ChoiceKind, ChoicePoint, ChoiceRecord, SchedulePlan, ScheduleOracle, ScheduleQuanta,
+    ScheduleRecording, ScheduleScript, ScriptOracle, SeededJitter,
+};
 pub use scvlog::{ScvEvent, ScvLog};
 pub use stats::{CoreStats, DerivedStats, MachineStats, StallKind};
 pub use telemetry::{BenchSnapshot, MetricEntry, PhaseTimer, Stopwatch};

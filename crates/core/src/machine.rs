@@ -212,6 +212,15 @@ impl Machine {
         self.mem.take_trace()
     }
 
+    /// Removes and returns the schedule oracle's choice-point recording
+    /// (machines built with a scripted
+    /// [`SchedulePlan`](asymfence_common::schedule::SchedulePlan) only).
+    pub fn take_schedule_recording(
+        &mut self,
+    ) -> Option<asymfence_common::schedule::ScheduleRecording> {
+        self.mem.take_schedule_recording()
+    }
+
     /// The program running on `core` (for reading results after a run).
     pub fn thread_program(&self, core: CoreId) -> &dyn ThreadProgram {
         self.cores[core.0].program()

@@ -536,14 +536,11 @@ impl Core {
                     self.rob.pop_front();
                     let serial = self.next_store_serial;
                     self.next_store_serial += 1;
-                    let p = self.cfg.perturb;
-                    let ready_at = now
-                        + p.draw(
-                            asymfence_common::config::Perturbation::STREAM_WB
-                                ^ (self.id.0 as u64) << 32,
-                            serial,
-                            p.wb_stall,
-                        );
+                    let line = asymfence_common::ids::LineAddr::containing(
+                        addr,
+                        self.cfg.line_bytes,
+                    );
+                    let ready_at = now + mem.wb_drain_stall(self.id, serial, line);
                     self.wb.push_back(WbEntry {
                         addr,
                         value,

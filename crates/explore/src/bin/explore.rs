@@ -10,7 +10,7 @@ use std::process::ExitCode;
 
 use asymfence::prelude::FenceDesign;
 use asymfence_common::telemetry::{self, BenchSnapshot, MetricEntry, Stopwatch};
-use asymfence_explore::{ExploreConfig, Explorer, Scenario, ALL_DESIGNS};
+use asymfence_explore::{DporConfig, ExploreConfig, Explorer, Scenario, ALL_DESIGNS};
 
 fn parse_design(s: &str) -> Option<Vec<FenceDesign>> {
     Some(match s {
@@ -25,20 +25,39 @@ fn parse_design(s: &str) -> Option<Vec<FenceDesign>> {
     })
 }
 
-fn parse_scenario(s: &str) -> Option<Scenario> {
+/// Scenarios by CLI name. `sb-allweak` keeps its all-Critical roles
+/// (the point of the case); every other scenario is re-tagged per
+/// design via [`Scenario::with_roles_for`]. `corpus` expands to the
+/// whole litmus corpus.
+fn parse_scenario(s: &str) -> Option<Vec<Scenario>> {
     Some(match s {
-        "sb-unfenced" => Scenario::store_buffering(false),
-        "sb-fenced" => Scenario::store_buffering(true),
-        "sb-padded" => Scenario::store_buffering_padded(),
-        "3cycle" => Scenario::three_thread_cycle(),
+        "sb-unfenced" => vec![Scenario::store_buffering(false)],
+        "sb-fenced" => vec![Scenario::store_buffering(true)],
+        "sb-padded" => vec![Scenario::store_buffering_padded()],
+        "sb-allweak" => vec![Scenario::store_buffering_all_weak()],
+        "sb-half-fenced" => vec![Scenario::store_buffering_half_fenced()],
+        "sb-double-fenced" => vec![Scenario::store_buffering_double_fenced()],
+        "mp-unfenced" => vec![Scenario::message_passing(false)],
+        "mp-fenced" => vec![Scenario::message_passing(true)],
+        "lb" => vec![Scenario::load_buffering()],
+        "iriw" => vec![Scenario::iriw()],
+        "3cycle" => vec![Scenario::three_thread_cycle()],
+        "corpus" => Scenario::litmus_corpus().into_iter().map(|(sc, _)| sc).collect(),
         _ => return None,
     })
 }
 
-const USAGE: &str = "usage: explore --scenario <sb-unfenced|sb-fenced|sb-padded|3cycle> \
+const USAGE: &str = "usage: explore --scenario <name|corpus> \
   --design <S+|WS+|SW+|W+|Wee|unsafe|all> [--seeds N] [--seed N] [--jobs N] [--trace PATH]\n\
+  scenarios: sb-unfenced sb-fenced sb-padded sb-allweak sb-half-fenced\n\
+             sb-double-fenced mp-unfenced mp-fenced lb iriw 3cycle corpus\n\
   --seeds N   sweep seed indices 0..N (default 256; seed 0 = natural schedule)\n\
   --seed N    replay exactly one seed instead of sweeping\n\
+  --exhaustive  enumerate schedules (DPOR) instead of sampling seeds; a\n\
+              clean, complete walk proves SC up to the bound\n\
+  --bound N   reorder bound for --exhaustive: max delayed choices per\n\
+              schedule (default 2)\n\
+  --quick     with --exhaustive, drop the bound to 1 (smoke/CI scale)\n\
   --jobs N    sweep worker threads (default: ASF_JOBS, then all cores);\n\
               reports are identical at any worker count\n\
   --trace PATH  on a violation, write the failing run's fence trace as\n\
@@ -60,14 +79,17 @@ fn write_trace(path: &str, design: FenceDesign, json: &str) -> std::io::Result<S
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scenario = None;
+    let mut scenarios: Option<Vec<Scenario>> = None;
     let mut designs = None;
     let mut cfg = ExploreConfig::default();
     let mut single_seed = None;
     let mut jobs = 0;
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
-    let mut scenario_name = String::new();
+    let mut scenario_arg = String::new();
+    let mut exhaustive = false;
+    let mut bound: Option<usize> = None;
+    let mut quick = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -75,11 +97,28 @@ fn main() -> ExitCode {
         match args[i].as_str() {
             "--scenario" => match need(i).and_then(|v| parse_scenario(v)) {
                 Some(s) => {
-                    scenario = Some(s);
-                    scenario_name = args[i + 1].clone();
+                    scenarios = Some(s);
+                    scenario_arg = args[i + 1].clone();
                 }
                 None => {
                     eprintln!("unknown scenario\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--exhaustive" => {
+                exhaustive = true;
+                i += 1;
+                continue;
+            }
+            "--quick" => {
+                quick = true;
+                i += 1;
+                continue;
+            }
+            "--bound" => match need(i).and_then(|v| v.parse().ok()) {
+                Some(n) => bound = Some(n),
+                None => {
+                    eprintln!("--bound needs a number\n{USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -137,65 +176,128 @@ fn main() -> ExitCode {
         i += 2;
     }
 
-    let (Some(scenario), Some(designs)) = (scenario, designs) else {
+    let (Some(scenarios), Some(designs)) = (scenarios, designs) else {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+    let corpus = scenarios.len() > 1;
 
     let ex = Explorer::new(cfg).with_jobs(jobs);
+    let bound = bound.unwrap_or(if quick { 1 } else { 2 });
+    let dcfg = DporConfig::from_explore(&cfg, bound);
     let deterministic = telemetry::deterministic_from_env();
     let total = Stopwatch::start();
     let mut entries: Vec<MetricEntry> = Vec::new();
-    let mut record = |design: FenceDesign, runs: u64, wall_ns: u64| {
-        let mut e = MetricEntry::new("explore", &scenario_name, &format!("{design:?}"));
+    let mut record = |name: &str, design: FenceDesign, runs: u64, wall_ns: u64| {
+        let mut e = MetricEntry::new("explore", name, &format!("{design:?}"));
         e.runs = runs;
         e.wall_ns = if deterministic { 0 } else { wall_ns };
         entries.push(e);
     };
     let mut dirty = false;
-    for design in designs {
-        let sc = scenario.clone().with_roles_for(design);
-        if let Some(seed) = single_seed {
+    for scenario in &scenarios {
+        // In corpus mode the metric/workload name is the scenario's own
+        // name; single-scenario runs keep the CLI argument for snapshot
+        // compatibility.
+        let name = if corpus {
+            scenario.name.clone()
+        } else {
+            scenario_arg.clone()
+        };
+        let label = if corpus {
+            format!("{}/", scenario.name)
+        } else {
+            String::new()
+        };
+        for &design in &designs {
+            // `sb-allweak` keeps its all-Critical roles: the case exists
+            // to stress a design outside its grouping assumption.
+            let sc = if scenario.name == "sb-allweak" {
+                scenario.clone()
+            } else {
+                scenario.clone().with_roles_for(design)
+            };
+            if exhaustive {
+                let sweep = Stopwatch::start();
+                let report = ex.explore_exhaustive(&sc, design, &dcfg);
+                record(&name, design, report.runs, sweep.elapsed_ns());
+                let stats = format!(
+                    "{} schedules explored ({} pruned, {} executed, {} classes) at bound {}",
+                    report.explored, report.pruned, report.executed, report.classes, report.bound
+                );
+                match &report.violation {
+                    None => {
+                        let proof = if report.complete {
+                            " — SC proven up to the bound"
+                        } else {
+                            " (incomplete: run budget hit)"
+                        };
+                        println!("{label}{design:?}: clean, {stats}{proof}");
+                    }
+                    Some(cex) => {
+                        println!("{label}{design:?}: VIOLATION, {stats}\n{cex}");
+                        if let Some(path) = &trace_path {
+                            match &cex.trace {
+                                Some(sink) => match write_trace(path, design, &sink.chrome_json())
+                                {
+                                    Ok(p) => println!("fence trace written to {p}"),
+                                    Err(e) => eprintln!("cannot write trace to {path}: {e}"),
+                                },
+                                None => {
+                                    eprintln!("minimized run left no trace (did not re-fail)")
+                                }
+                            }
+                        }
+                        dirty = true;
+                    }
+                }
+                continue;
+            }
+            if let Some(seed) = single_seed {
+                let sweep = Stopwatch::start();
+                let outcome = ex.run_seed(&sc, design, seed);
+                record(&name, design, 1, sweep.elapsed_ns());
+                match outcome {
+                    None => println!("{label}{design:?} seed {seed}: clean"),
+                    Some(f) => {
+                        println!("{label}{design:?} seed {seed}: FAILED\n{f}");
+                        if let Some(path) = &trace_path {
+                            if let Some(sink) = ex.run_seed_traced(&sc, design, seed) {
+                                match write_trace(path, design, &sink.chrome_json()) {
+                                    Ok(p) => println!("fence trace written to {p}"),
+                                    Err(e) => eprintln!("cannot write trace to {path}: {e}"),
+                                }
+                            }
+                        }
+                        dirty = true;
+                    }
+                }
+                continue;
+            }
             let sweep = Stopwatch::start();
-            let outcome = ex.run_seed(&sc, design, seed);
-            record(design, 1, sweep.elapsed_ns());
-            match outcome {
-                None => println!("{design:?} seed {seed}: clean"),
-                Some(f) => {
-                    println!("{design:?} seed {seed}: FAILED\n{f}");
+            let report = ex.sweep(&sc, design);
+            record(&name, design, report.runs, sweep.elapsed_ns());
+            match &report.violation {
+                None => println!(
+                    "{label}{design:?}: clean over {} seeds ({} runs)",
+                    cfg.seeds, report.runs
+                ),
+                Some(cex) => {
+                    println!(
+                        "{label}{design:?}: VIOLATION after {} runs\n{cex}",
+                        report.runs
+                    );
                     if let Some(path) = &trace_path {
-                        if let Some(sink) = ex.run_seed_traced(&sc, design, seed) {
-                            match write_trace(path, design, &sink.chrome_json()) {
+                        match &cex.trace {
+                            Some(sink) => match write_trace(path, design, &sink.chrome_json()) {
                                 Ok(p) => println!("fence trace written to {p}"),
                                 Err(e) => eprintln!("cannot write trace to {path}: {e}"),
-                            }
+                            },
+                            None => eprintln!("minimized run left no trace (did not re-fail)"),
                         }
                     }
                     dirty = true;
                 }
-            }
-            continue;
-        }
-        let sweep = Stopwatch::start();
-        let report = ex.sweep(&sc, design);
-        record(design, report.runs, sweep.elapsed_ns());
-        match &report.violation {
-            None => println!(
-                "{design:?}: clean over {} seeds ({} runs)",
-                cfg.seeds, report.runs
-            ),
-            Some(cex) => {
-                println!("{design:?}: VIOLATION after {} runs\n{cex}", report.runs);
-                if let Some(path) = &trace_path {
-                    match &cex.trace {
-                        Some(sink) => match write_trace(path, design, &sink.chrome_json()) {
-                            Ok(p) => println!("fence trace written to {p}"),
-                            Err(e) => eprintln!("cannot write trace to {path}: {e}"),
-                        },
-                        None => eprintln!("minimized run left no trace (did not re-fail)"),
-                    }
-                }
-                dirty = true;
             }
         }
     }

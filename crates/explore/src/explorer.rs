@@ -13,11 +13,14 @@
 //! then fewest instructions, then the smallest reproducing seed — and
 //! reports the minimal counterexample with a human-readable cycle.
 
+use std::collections::BTreeSet;
 use std::fmt;
 
 use asymfence::prelude::{scv, FenceDesign, Machine, Perturbation, RunOutcome, TraceSink};
 use asymfence_common::par;
+use asymfence_common::schedule::ScheduleScript;
 
+use crate::dpor::{self, DporConfig, ExhaustiveOutcome, RunObs};
 use crate::scenario::Scenario;
 
 /// All five safe designs from the paper, in presentation order.
@@ -125,23 +128,44 @@ pub struct Counterexample {
     /// [`TraceSink::chrome_json`]. `None` only if the minimized run
     /// unexpectedly stopped failing on replay.
     pub trace: Option<TraceSink>,
+    /// The minimized failing decision vector when the counterexample
+    /// came from exhaustive exploration (`None` for sampled
+    /// counterexamples, which replay from `seed` instead).
+    pub schedule: Option<ScheduleScript>,
 }
 
 impl fmt::Display for Counterexample {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "violation under design {:?} (found at seed {}, minimized to seed {}):",
-            self.design, self.found_seed, self.seed
-        )?;
+        match &self.schedule {
+            Some(s) => writeln!(
+                f,
+                "violation under design {:?} (exhaustive, {} delayed choice(s)):",
+                self.design,
+                s.cost()
+            )?,
+            None => writeln!(
+                f,
+                "violation under design {:?} (found at seed {}, minimized to seed {}):",
+                self.design, self.found_seed, self.seed
+            )?,
+        }
         write!(f, "{}", self.scenario)?;
         writeln!(f, "{}", self.failure)?;
-        writeln!(
-            f,
-            "reproduce: re-run this scenario under {:?} with perturbation seed {} \
-             (seed 0 = natural schedule); identical budgets replay bit-identically.",
-            self.design, self.seed
-        )
+        match &self.schedule {
+            Some(s) => writeln!(
+                f,
+                "reproduce: re-run this scenario under {:?} with schedule decisions \
+                 {:?} (arity {}, quanta noc={}/inval={}/wb={}); scripted schedules \
+                 replay bit-identically.",
+                self.design, s.decisions, s.arity, s.quanta.noc, s.quanta.inval, s.quanta.wb
+            ),
+            None => writeln!(
+                f,
+                "reproduce: re-run this scenario under {:?} with perturbation seed {} \
+                 (seed 0 = natural schedule); identical budgets replay bit-identically.",
+                self.design, self.seed
+            ),
+        }
     }
 }
 
@@ -181,6 +205,47 @@ impl OracleReport {
     /// True when every seed passed the oracle.
     pub fn clean(&self) -> bool {
         self.violation.is_none()
+    }
+}
+
+/// Result of a bounded-exhaustive exploration of one (scenario, design)
+/// pair ([`Explorer::explore_exhaustive`]).
+#[derive(Clone, Debug)]
+pub struct ExhaustiveReport {
+    /// The design explored.
+    pub design: FenceDesign,
+    /// The reorder bound the walk enforced.
+    pub bound: usize,
+    /// Simulator runs the walk executed (excludes shrinking).
+    pub executed: u64,
+    /// Schedules discharged by the DPOR reductions without simulation.
+    pub pruned: u64,
+    /// Schedules accounted for: `executed + pruned`.
+    pub explored: u64,
+    /// Distinct Mazurkiewicz classes among the executed runs.
+    pub classes: u64,
+    /// Choice points exposed by the natural run.
+    pub frontier: u64,
+    /// True when the walk covered the whole bounded tree: a complete,
+    /// clean report is a proof of SC up to the bound.
+    pub complete: bool,
+    /// Serial-equivalent total simulator runs charged (walk + shrink) —
+    /// identical at any worker count.
+    pub runs: u64,
+    /// The minimized failure, if any schedule tripped the oracle.
+    pub violation: Option<Counterexample>,
+}
+
+impl ExhaustiveReport {
+    /// True when every explored schedule passed the oracle.
+    pub fn clean(&self) -> bool {
+        self.violation.is_none()
+    }
+
+    /// True when the report *proves* SC up to the bound: clean and the
+    /// walk ran to completion.
+    pub fn proven(&self) -> bool {
+        self.clean() && self.complete
     }
 }
 
@@ -431,6 +496,211 @@ impl Explorer {
                 scenario,
                 failure,
                 trace,
+                schedule: None,
+            },
+            spent,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Bounded-exhaustive exploration
+    // ------------------------------------------------------------------
+
+    /// Runs one already-built scripted machine and distills the
+    /// observation the DPOR engine consumes: oracle verdict,
+    /// choice-point recording, run fingerprint, Mazurkiewicz class and
+    /// contested lines (run log plus `static_shared`).
+    pub fn observe_machine(&self, mut m: Machine, static_shared: &BTreeSet<u64>) -> RunObs {
+        let line_bytes = m.config().line_bytes;
+        let failure = self.check_machine(&mut m);
+        let recording = m.take_schedule_recording().unwrap_or_default();
+        let log = m.scv_log().cloned().unwrap_or_default();
+        RunObs::new(failure, recording, &log, m.now(), line_bytes, static_shared)
+    }
+
+    /// Runs one scripted schedule of a scenario (the exhaustive analog
+    /// of [`Explorer::run_seed`]).
+    pub fn run_script(
+        &self,
+        scenario: &Scenario,
+        design: FenceDesign,
+        script: &ScheduleScript,
+    ) -> RunObs {
+        let static_shared = scenario.shared_slot_lines(
+            asymfence_common::config::MachineConfig::default().line_bytes,
+        );
+        let m = scenario.machine_scripted(design, script.clone(), self.cfg.watchdog_cycles);
+        self.observe_machine(m, &static_shared)
+    }
+
+    /// Walks the bounded choice tree of `(scenario, design)` and, on a
+    /// violation, shrinks it (scenario structure first, then the
+    /// decision vector) to a minimal scripted counterexample.
+    ///
+    /// Like [`Explorer::sweep`], the walk fans out over worker threads
+    /// but folds serial-equivalently, so the report is byte-identical
+    /// at any [`Explorer::jobs`].
+    pub fn explore_exhaustive(
+        &self,
+        scenario: &Scenario,
+        design: FenceDesign,
+        dcfg: &DporConfig,
+    ) -> ExhaustiveReport {
+        let jobs = par::resolve_jobs((self.jobs > 0).then_some(self.jobs));
+        let static_shared = scenario.shared_slot_lines(
+            asymfence_common::config::MachineConfig::default().line_bytes,
+        );
+        let out = dpor::explore(dcfg, jobs, |script| {
+            let m = scenario.machine_scripted(design, script.clone(), self.cfg.watchdog_cycles);
+            self.observe_machine(m, &static_shared)
+        });
+        let mut runs = out.executed;
+        let violation = out.violation.clone().map(|(decisions, failure)| {
+            let (cex, spent) =
+                self.shrink_exhaustive(scenario.clone(), design, dcfg, decisions, failure);
+            runs += spent;
+            cex
+        });
+        ExhaustiveReport {
+            design,
+            bound: dcfg.bound,
+            executed: out.executed,
+            pruned: out.pruned,
+            explored: out.explored,
+            classes: out.classes,
+            frontier: out.frontier,
+            complete: out.complete,
+            runs,
+            violation,
+        }
+    }
+
+    /// Explores the scenario under every safe design (the exhaustive
+    /// analog of [`Explorer::sweep_all_designs`]).
+    pub fn explore_exhaustive_all_designs(
+        &self,
+        scenario: &Scenario,
+        dcfg: &DporConfig,
+    ) -> Vec<ExhaustiveReport> {
+        ALL_DESIGNS
+            .iter()
+            .map(|&d| self.explore_exhaustive(&scenario.clone().with_roles_for(d), d, dcfg))
+            .collect()
+    }
+
+    /// The library-call form of bounded-exhaustive validation, used by
+    /// the synthesis engine: walks the choice tree of machines produced
+    /// by `build` without scenario shrinking. `build` must be a pure
+    /// function of the script and enable the SCV log; a complete, clean
+    /// outcome proves the assignment SC up to the bound.
+    pub fn explore_exhaustive_builder<F>(&self, dcfg: &DporConfig, build: F) -> ExhaustiveOutcome
+    where
+        F: Fn(ScheduleScript) -> Machine + Sync,
+    {
+        let jobs = par::resolve_jobs((self.jobs > 0).then_some(self.jobs));
+        let empty = BTreeSet::new();
+        dpor::explore(dcfg, jobs, |script| {
+            self.observe_machine(build(script.clone()), &empty)
+        })
+    }
+
+    /// Greedy shrink of an exhaustively-found failure: structural
+    /// candidates survive when a fresh serial bounded walk still finds
+    /// a violation (adopting its schedule); then the decision vector is
+    /// minimized by zeroing delays one at a time. Returns the
+    /// counterexample and the runs spent.
+    fn shrink_exhaustive(
+        &self,
+        scenario: Scenario,
+        design: FenceDesign,
+        dcfg: &DporConfig,
+        decisions: Vec<u8>,
+        failure: Failure,
+    ) -> (Counterexample, u64) {
+        let mut runs_left = self.cfg.max_shrink_runs;
+        let mut cur = (scenario, decisions, failure);
+
+        // Phase 1: structural minimization to a local fixpoint. Each
+        // candidate gets a serial re-exploration with the remaining
+        // budget as its per-subtree cap.
+        loop {
+            let mut improved = false;
+            for cand in cur.0.shrink_candidates() {
+                if runs_left == 0 {
+                    break;
+                }
+                let sub = DporConfig {
+                    max_runs_per_subtree: dcfg.max_runs_per_subtree.min(runs_left),
+                    ..*dcfg
+                };
+                let out = dpor::explore(&sub, 1, |script| {
+                    self.run_script(&cand, design, script)
+                });
+                runs_left = runs_left.saturating_sub(out.executed);
+                if let Some((d, f)) = out.violation {
+                    cur = (cand, d, f);
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved || runs_left == 0 {
+                break;
+            }
+        }
+
+        // Phase 2: schedule minimization — drop nonzero decisions
+        // (deepest first) while the failure reproduces.
+        loop {
+            let mut improved = false;
+            for i in (0..cur.1.len()).rev() {
+                if cur.1[i] == 0 || runs_left == 0 {
+                    continue;
+                }
+                let mut d = cur.1.clone();
+                d[i] = 0;
+                while d.last() == Some(&0) {
+                    d.pop();
+                }
+                runs_left -= 1;
+                let obs = self.run_script(&cur.0, design, &dcfg.script(d.clone()));
+                if let Some(f) = obs.failure {
+                    cur.1 = d;
+                    cur.2 = f;
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved || runs_left == 0 {
+                break;
+            }
+        }
+
+        let spent = self.cfg.max_shrink_runs - runs_left;
+        let (scenario, decisions, failure) = cur;
+        let script = dcfg.script(decisions);
+        // Presentation replay with the fence-lifecycle trace attached
+        // (not charged against `runs`, as in the sampled path).
+        let mut m =
+            scenario.machine_scripted_traced(design, script.clone(), self.cfg.watchdog_cycles);
+        let failed = match m.run(self.cfg.max_cycles) {
+            RunOutcome::Deadlocked | RunOutcome::CycleLimit => true,
+            RunOutcome::Finished => {
+                let log = m
+                    .scv_log()
+                    .expect("explorer machines always record the SCV log");
+                scv::find_cycle(log).is_some()
+            }
+        };
+        let trace = failed.then(|| m.take_trace().expect("record_trace was enabled"));
+        (
+            Counterexample {
+                design,
+                seed: 0,
+                found_seed: 0,
+                scenario,
+                failure,
+                trace,
+                schedule: Some(script),
             },
             spent,
         )

@@ -19,10 +19,13 @@
 //! assert!(cex.scenario.threads.len() <= 2);
 //! ```
 
+pub mod dpor;
 pub mod explorer;
 pub mod scenario;
 
+pub use dpor::{DporConfig, ExhaustiveOutcome, RunObs};
 pub use explorer::{
-    Counterexample, ExploreConfig, Explorer, Failure, OracleReport, SweepReport, ALL_DESIGNS,
+    Counterexample, ExhaustiveReport, ExploreConfig, Explorer, Failure, OracleReport, SweepReport,
+    ALL_DESIGNS,
 };
 pub use scenario::{slot_addr, Op, Scenario, ScenarioGen, ThreadSpec};

@@ -13,6 +13,7 @@ use std::fmt;
 use asymfence::prelude::{
     Addr, FenceDesign, FenceRole, Instr, MachineConfig, Machine, Perturbation,
 };
+use asymfence_common::schedule::{SchedulePlan, ScheduleScript};
 use asymfence_common::prop::{pairs, u8s, usizes, vecs, Gen, VecGen, PairGen, BoolGen, U8Range};
 use asymfence_common::rng::SimRng;
 use asymfence_common::prop::bools;
@@ -103,6 +104,70 @@ impl Scenario {
         self.build_machine(design, perturb, watchdog_cycles, true)
     }
 
+    /// As [`Scenario::machine`], but driven by an explicit
+    /// [`ScheduleScript`] instead of seeded jitter — the exhaustive
+    /// explorer builds one machine per decision vector through this.
+    pub fn machine_scripted(
+        &self,
+        design: FenceDesign,
+        script: ScheduleScript,
+        watchdog_cycles: u64,
+    ) -> Machine {
+        self.build_scripted(design, script, watchdog_cycles, false)
+    }
+
+    /// As [`Scenario::machine_scripted`], with the fence-lifecycle
+    /// trace attached (counterexample presentation replays).
+    pub fn machine_scripted_traced(
+        &self,
+        design: FenceDesign,
+        script: ScheduleScript,
+        watchdog_cycles: u64,
+    ) -> Machine {
+        self.build_scripted(design, script, watchdog_cycles, true)
+    }
+
+    /// Raw line addresses of every slot two or more threads touch — the
+    /// statically-known contested footprint the exhaustive explorer
+    /// seeds its conflict-pruning set with.
+    pub fn shared_slot_lines(&self, line_bytes: u64) -> std::collections::BTreeSet<u64> {
+        use std::collections::BTreeMap;
+        let mut owner: BTreeMap<u8, usize> = BTreeMap::new();
+        let mut shared = std::collections::BTreeSet::new();
+        for (ti, t) in self.threads.iter().enumerate() {
+            for op in &t.ops {
+                let slot = match *op {
+                    Op::Store { slot } | Op::Load { slot } => slot,
+                    Op::Fence | Op::Compute { .. } => continue,
+                };
+                match owner.get(&slot) {
+                    None => {
+                        owner.insert(slot, ti);
+                    }
+                    Some(&o) if o == ti => {}
+                    Some(_) => {
+                        shared.insert(slot_addr(slot).raw() / line_bytes);
+                    }
+                }
+            }
+        }
+        shared
+    }
+
+    fn build_scripted(
+        &self,
+        design: FenceDesign,
+        script: ScheduleScript,
+        watchdog_cycles: u64,
+        trace: bool,
+    ) -> Machine {
+        let cfg = self
+            .config_builder(design, Perturbation::default(), watchdog_cycles, trace)
+            .schedule(SchedulePlan::Scripted(script))
+            .build();
+        self.populate(Machine::new(&cfg))
+    }
+
     fn build_machine(
         &self,
         design: FenceDesign,
@@ -110,15 +175,29 @@ impl Scenario {
         watchdog_cycles: u64,
         trace: bool,
     ) -> Machine {
-        let cfg = MachineConfig::builder()
+        let cfg = self
+            .config_builder(design, perturb, watchdog_cycles, trace)
+            .build();
+        self.populate(Machine::new(&cfg))
+    }
+
+    fn config_builder(
+        &self,
+        design: FenceDesign,
+        perturb: Perturbation,
+        watchdog_cycles: u64,
+        trace: bool,
+    ) -> asymfence_common::config::MachineConfigBuilder {
+        MachineConfig::builder()
             .cores(self.threads.len().max(2))
             .fence_design(design)
             .record_scv_log(true)
             .record_trace(trace)
             .watchdog_cycles(watchdog_cycles)
             .perturb(perturb)
-            .build();
-        let mut m = Machine::new(&cfg);
+    }
+
+    fn populate(&self, mut m: Machine) -> Machine {
         for (ti, t) in self.threads.iter().enumerate() {
             let mut instrs = Vec::with_capacity(t.ops.len());
             for (oi, op) in t.ops.iter().enumerate() {
@@ -270,6 +349,121 @@ impl Scenario {
             name: "3cycle-fenced".into(),
             threads: vec![side(0, 1), side(1, 2), side(2, 0)],
         }
+    }
+
+    /// Dekker with every fence weak (Critical) — legal for W+/Wee, but
+    /// an all-weak group violates SW+'s asymmetric-group assumption, and
+    /// exhaustive exploration must find the resulting non-SC schedule.
+    pub fn store_buffering_all_weak() -> Scenario {
+        let mut sc = Scenario::store_buffering(true);
+        sc.name = "sb-allweak".into();
+        for t in &mut sc.threads {
+            t.role = FenceRole::Critical;
+        }
+        sc
+    }
+
+    /// Dekker with one side's fence collapsed away: the unfenced side
+    /// still reorders its store past its load, so the SC violation
+    /// survives under *every* design.
+    pub fn store_buffering_half_fenced() -> Scenario {
+        let mut sc = Scenario::store_buffering(true);
+        sc.name = "sb-half-fenced".into();
+        sc.threads[1].ops.retain(|op| *op != Op::Fence);
+        sc
+    }
+
+    /// Dekker with doubled adjacent fences on each side — the
+    /// collapsed-fence variant: back-to-back fences must behave exactly
+    /// like one (the second joins or immediately follows the first's
+    /// group), so the scenario stays SC under every design.
+    pub fn store_buffering_double_fenced() -> Scenario {
+        let mut sc = Scenario::store_buffering(true);
+        sc.name = "sb-double-fenced".into();
+        for t in &mut sc.threads {
+            let at = t.ops.iter().position(|op| *op == Op::Fence).unwrap();
+            t.ops.insert(at, Op::Fence);
+        }
+        sc
+    }
+
+    /// Message passing: `T0: St data; [F]; St flag | T1: Ld flag; [F];
+    /// Ld data`. TSO never reorders store→store or load→load, so the
+    /// scenario is SC even unfenced.
+    pub fn message_passing(fenced: bool) -> Scenario {
+        let mut t0 = vec![Op::Store { slot: 0 }];
+        let mut t1 = vec![Op::Load { slot: 1 }];
+        if fenced {
+            t0.push(Op::Fence);
+            t1.push(Op::Fence);
+        }
+        t0.push(Op::Store { slot: 1 });
+        t1.push(Op::Load { slot: 0 });
+        Scenario {
+            name: if fenced { "mp-fenced" } else { "mp-unfenced" }.into(),
+            threads: vec![
+                ThreadSpec {
+                    ops: t0,
+                    role: FenceRole::Critical,
+                },
+                ThreadSpec {
+                    ops: t1,
+                    role: FenceRole::Critical,
+                },
+            ],
+        }
+    }
+
+    /// Load buffering: `T0: Ld x; St y | T1: Ld y; St x`. The both-
+    /// loads-see-1 outcome needs load→store reordering, which TSO (and
+    /// this in-order pipeline) forbids — SC even unfenced.
+    pub fn load_buffering() -> Scenario {
+        let side = |mine: u8, other: u8| ThreadSpec {
+            ops: vec![Op::Load { slot: other }, Op::Store { slot: mine }],
+            role: FenceRole::Critical,
+        };
+        Scenario {
+            name: "lb".into(),
+            threads: vec![side(0, 1), side(1, 0)],
+        }
+    }
+
+    /// Independent reads of independent writes: two writers, two
+    /// readers observing in opposite orders. Invalidation-based
+    /// coherence gives single-copy atomicity, so the readers can never
+    /// disagree on the write order — SC even unfenced.
+    pub fn iriw() -> Scenario {
+        let writer = |slot: u8| ThreadSpec {
+            ops: vec![Op::Store { slot }],
+            role: FenceRole::NonCritical,
+        };
+        let reader = |first: u8, second: u8| ThreadSpec {
+            ops: vec![Op::Load { slot: first }, Op::Load { slot: second }],
+            role: FenceRole::NonCritical,
+        };
+        Scenario {
+            name: "iriw".into(),
+            threads: vec![writer(0), writer(1), reader(0, 1), reader(1, 0)],
+        }
+    }
+
+    /// The litmus corpus the exhaustive explorer checks as tier-1
+    /// tests: `(scenario, expected-SC)` pairs, where the verdict holds
+    /// under every safe design (roles re-tagged per design via
+    /// [`Scenario::with_roles_for`]). Design-specific cases (the SW+
+    /// all-weak group) are asserted separately.
+    pub fn litmus_corpus() -> Vec<(Scenario, bool)> {
+        vec![
+            (Scenario::store_buffering(false), false),
+            (Scenario::store_buffering(true), true),
+            (Scenario::store_buffering_half_fenced(), false),
+            (Scenario::store_buffering_double_fenced(), true),
+            (Scenario::message_passing(false), true),
+            (Scenario::message_passing(true), true),
+            (Scenario::load_buffering(), true),
+            (Scenario::iriw(), true),
+            (Scenario::three_thread_cycle(), true),
+        ]
     }
 }
 

@@ -1,0 +1,116 @@
+//! Differential properties of the bounded-exhaustive explorer: the DPOR
+//! reductions must never change a verdict relative to plain full
+//! enumeration of the bounded choice tree, and the exhaustive walk must
+//! find (at least) every violation the perturbation sampler can.
+//!
+//! Runs on the in-repo property harness; failing case seeds persist to
+//! `tests/regressions/exhaustive_diff.seeds` and replay before fresh
+//! cases on every run.
+
+use asymfence::prelude::FenceDesign;
+use asymfence_common::prop::{check, Config};
+use asymfence_explore::{DporConfig, Explorer, ScenarioGen};
+
+/// Tiny scenarios keep the full (unpruned) bounded tree cheap enough to
+/// enumerate outright, which is exactly what the differential needs.
+fn tiny(fenced: bool) -> ScenarioGen {
+    ScenarioGen {
+        min_threads: 2,
+        max_threads: 2,
+        max_ops: 3,
+        slots: 2,
+        fenced,
+    }
+}
+
+fn cfg(cases: u32) -> Config {
+    Config::from_env(cases).regressions("tests/regressions/exhaustive_diff.seeds")
+}
+
+fn dcfg(ex: &Explorer, bound: usize, prune: bool) -> DporConfig {
+    DporConfig {
+        prune,
+        ..DporConfig::from_explore(&ex.cfg, bound)
+    }
+}
+
+/// DPOR (sleep sets + conflict pruning) reports exactly the verdict of
+/// plain full enumeration on the same bounded tree. At bound 1 the two
+/// walks must also *account* for the same tree: pruned schedules are
+/// discharged, not forgotten, so `explored` matches the unpruned run
+/// count schedule-for-schedule.
+#[test]
+fn dpor_pruning_preserves_the_full_enumeration_verdict() {
+    let ex = Explorer::default();
+    check(
+        "dpor_pruning_preserves_the_full_enumeration_verdict",
+        &cfg(8),
+        &tiny(false),
+        |sc| {
+            for &design in &[FenceDesign::SPlus, FenceDesign::WPlus] {
+                let sc = sc.clone().with_roles_for(design);
+                let full = ex.explore_exhaustive(&sc, design, &dcfg(&ex, 1, false));
+                let dpor = ex.explore_exhaustive(&sc, design, &dcfg(&ex, 1, true));
+                if full.clean() != dpor.clean() {
+                    return Err(format!(
+                        "{design:?} bound 1: full enumeration {} but DPOR {}",
+                        if full.clean() { "clean" } else { "violated" },
+                        if dpor.clean() { "clean" } else { "violated" },
+                    ));
+                }
+                if full.clean() && full.explored != dpor.explored {
+                    return Err(format!(
+                        "{design:?} bound 1: full enumeration covered {} schedules, \
+                         DPOR accounted for {} ({} pruned + {} executed)",
+                        full.explored, dpor.explored, dpor.pruned, dpor.executed
+                    ));
+                }
+            }
+            // Deeper trees: subtree pruning makes the accounting diverge
+            // by design, but the verdict may not.
+            let sc2 = sc.clone().with_roles_for(FenceDesign::WPlus);
+            let full = ex.explore_exhaustive(&sc2, FenceDesign::WPlus, &dcfg(&ex, 2, false));
+            let dpor = ex.explore_exhaustive(&sc2, FenceDesign::WPlus, &dcfg(&ex, 2, true));
+            if full.clean() != dpor.clean() {
+                return Err(format!(
+                    "WPlus bound 2: full enumeration {} but DPOR {}",
+                    if full.clean() { "clean" } else { "violated" },
+                    if dpor.clean() { "clean" } else { "violated" },
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Every violation the perturbation sampler can reach is also reached by
+/// the exhaustive walk: sampled jitter is just one path through the same
+/// choice tree, so `explore_exhaustive` finds a superset at a sufficient
+/// bound.
+#[test]
+fn exhaustive_finds_a_superset_of_sampled_violations() {
+    let ex = Explorer::default();
+    check(
+        "exhaustive_finds_a_superset_of_sampled_violations",
+        &cfg(8),
+        &tiny(false),
+        |sc| {
+            for &design in &[FenceDesign::SPlus, FenceDesign::WPlus] {
+                let sc = sc.clone().with_roles_for(design);
+                let sampled_hit = (0..16).any(|seed| ex.run_seed(&sc, design, seed).is_some());
+                if !sampled_hit {
+                    continue;
+                }
+                let rep = ex.explore_exhaustive(&sc, design, &dcfg(&ex, 2, true));
+                if rep.clean() {
+                    return Err(format!(
+                        "{design:?}: the sampler found a violation in 16 seeds but the \
+                         exhaustive walk at bound {} came back clean ({} explored)",
+                        rep.bound, rep.explored
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}

@@ -27,5 +27,5 @@ pub mod groups;
 pub mod report;
 pub mod search;
 
-pub use report::run_cli;
+pub use report::{run_cli, run_cli_with};
 pub use search::{Candidate, PaperVerdict, SynthResult, Synthesizer};

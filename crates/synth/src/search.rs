@@ -27,9 +27,10 @@ use asymfence::prelude::{FenceDesign, Machine, MachineConfig, RunOutcome, TraceS
 use asymfence_bench::{RunSpec, Runner, SiteMask};
 use asymfence_common::assign::SearchStats;
 use asymfence_common::ids::CoreId;
+use asymfence_common::schedule::{SchedulePlan, ScheduleScript};
 use asymfence_common::trace::TraceKind;
 use asymfence_common::trace_event;
-use asymfence_explore::Explorer;
+use asymfence_explore::{DporConfig, Explorer};
 use asymfence_workloads::sites::SiteBench;
 
 use crate::groups;
@@ -95,6 +96,13 @@ pub struct Synthesizer {
     pub runner: Runner,
     /// Workload seed for both the oracle machines and the scoring runs.
     pub seed: u64,
+    /// When set, survivors are validated by bounded-exhaustive DPOR
+    /// exploration ([`Explorer::explore_exhaustive_builder`]) instead of
+    /// the perturbation-seed sweep: every accepted assignment is then a
+    /// *proof* of SC up to the configured reorder bound. `None` (the
+    /// default) keeps the sampled oracle byte-identical to earlier
+    /// releases.
+    pub exhaustive: Option<DporConfig>,
     memo: HashMap<(FenceDesign, &'static str, u64), u64>,
 }
 
@@ -107,8 +115,18 @@ impl Synthesizer {
             explorer,
             runner,
             seed,
+            exhaustive: None,
             memo: HashMap::new(),
         }
+    }
+
+    /// Switches oracle validation to bounded-exhaustive exploration at
+    /// the given reorder bound (derived from the explorer's perturbation
+    /// magnitudes, like `explore --exhaustive`).
+    #[must_use]
+    pub fn with_exhaustive(mut self, bound: usize) -> Self {
+        self.exhaustive = Some(DporConfig::from_explore(&self.explorer.cfg, bound));
+        self
     }
 
     /// Builds one oracle machine for a candidate mask: SCV log on,
@@ -129,6 +147,33 @@ impl Synthesizer {
             .record_scv_log(true)
             .watchdog_cycles(self.explorer.cfg.watchdog_cycles)
             .perturb(perturb)
+            .build();
+        cfg.fence_assignment = Some(SiteMask { n_sites, weak: mask }.to_assignment());
+        let mut m = Machine::new(&cfg);
+        for p in bench.programs(&cfg, self.seed) {
+            m.add_thread(p);
+        }
+        m
+    }
+
+    /// Builds one oracle machine for a candidate mask driven by a
+    /// scripted schedule instead of a perturbation — the machine the
+    /// exhaustive validation path hands to the DPOR walk.
+    fn oracle_machine_scripted(
+        &self,
+        bench: SiteBench,
+        design: FenceDesign,
+        n_sites: u32,
+        mask: u64,
+        script: ScheduleScript,
+    ) -> Machine {
+        let mut cfg = MachineConfig::builder()
+            .cores(bench.cores())
+            .fence_design(design)
+            .seed(self.seed)
+            .record_scv_log(true)
+            .watchdog_cycles(self.explorer.cfg.watchdog_cycles)
+            .schedule(SchedulePlan::Scripted(script))
             .build();
         cfg.fence_assignment = Some(SiteMask { n_sites, weak: mask }.to_assignment());
         let mut m = Machine::new(&cfg);
@@ -219,12 +264,23 @@ impl Synthesizer {
                 rejected.push((mask, reason));
                 continue;
             }
-            let report = self.explorer.sweep_builder(|perturb| {
-                self.oracle_machine(bench, design, n_sites, mask, perturb)
-            });
-            stats.runs += report.runs;
-            match report.violation {
-                Some((_, failure)) => {
+            let (charged, violation) = match &self.exhaustive {
+                Some(dcfg) => {
+                    let out = self.explorer.explore_exhaustive_builder(dcfg, |script| {
+                        self.oracle_machine_scripted(bench, design, n_sites, mask, script)
+                    });
+                    (out.executed, out.violation.map(|(_, failure)| failure))
+                }
+                None => {
+                    let report = self.explorer.sweep_builder(|perturb| {
+                        self.oracle_machine(bench, design, n_sites, mask, perturb)
+                    });
+                    (report.runs, report.violation.map(|(_, failure)| failure))
+                }
+            };
+            stats.runs += charged;
+            match violation {
+                Some(failure) => {
                     stats.oracle_rejected += 1;
                     rejected.push((mask, oracle_reason(&failure)));
                 }
@@ -398,5 +454,30 @@ mod tests {
             assert_eq!(r1.best, r2.best, "{}", bench.name());
             assert_eq!(r1.stats, r2.stats, "{}", bench.name());
         }
+    }
+
+    #[test]
+    fn exhaustive_validation_agrees_with_the_sampled_oracle() {
+        let sampled = quick_synth(2).synthesize(SiteBench::Sb, FenceDesign::WsPlus, None);
+        let mut ex = quick_synth(2).with_exhaustive(1);
+        let proven = ex.synthesize(SiteBench::Sb, FenceDesign::WsPlus, None);
+        // Same admissible space, same verdicts: every sampled survivor is
+        // now proven SC up to the bound, and nothing new is rejected.
+        assert_eq!(proven.stats.valid, sampled.stats.valid);
+        assert_eq!(proven.stats.oracle_rejected, sampled.stats.oracle_rejected);
+        assert_eq!(proven.best.map(|b| b.mask), sampled.best.map(|b| b.mask));
+        assert!(proven.paper.valid);
+    }
+
+    #[test]
+    fn exhaustive_validation_is_identical_at_any_job_count() {
+        let r1 = quick_synth(1)
+            .with_exhaustive(1)
+            .synthesize(SiteBench::Sb, FenceDesign::WsPlus, None);
+        let r2 = quick_synth(3)
+            .with_exhaustive(1)
+            .synthesize(SiteBench::Sb, FenceDesign::WsPlus, None);
+        assert_eq!(r1.best, r2.best);
+        assert_eq!(r1.stats, r2.stats);
     }
 }

@@ -122,6 +122,87 @@ pub fn message_passing() -> LitmusSetup {
     (vec![Box::new(p0), Box::new(p1)], vec![r0, r1])
 }
 
+/// Message passing with fences: `P0: wr data; F; wr flag | P1: rd flag;
+/// F; rd data`. Redundant under TSO (which already orders both pairs),
+/// so the fenced variant must stay SC under every design — it pins the
+/// "fences never weaken an already-SC program" direction.
+pub fn message_passing_fenced(role_a: FenceRole, role_b: FenceRole) -> LitmusSetup {
+    let data = Addr::new(0x00);
+    let flag = Addr::new(0x40);
+    let (p0, r0) = ScriptProgram::new(vec![
+        Instr::Store { addr: data, value: 1 },
+        Instr::fence_at(FenceSite(0), role_a),
+        Instr::Store { addr: flag, value: 1 },
+        Instr::Load {
+            addr: data,
+            tag: Some(OBSERVED),
+        },
+    ]);
+    let (p1, r1) = ScriptProgram::new(vec![
+        Instr::Load {
+            addr: flag,
+            tag: Some(2),
+        },
+        Instr::fence_at(FenceSite(1), role_b),
+        Instr::Load {
+            addr: data,
+            tag: Some(OBSERVED),
+        },
+    ]);
+    (vec![Box::new(p0), Box::new(p1)], vec![r0, r1])
+}
+
+/// Load buffering: `P0: rd y; wr x | P1: rd x; wr y`. The both-loads-
+/// see-1 outcome needs load→store reordering, which TSO forbids — SC
+/// without any fences.
+pub fn load_buffering() -> LitmusSetup {
+    let x = Addr::new(0x00);
+    let y = Addr::new(0x40);
+    let mk = |other, mine| {
+        ScriptProgram::new(vec![
+            Instr::Load {
+                addr: other,
+                tag: Some(OBSERVED),
+            },
+            Instr::Store { addr: mine, value: 1 },
+        ])
+    };
+    let (p0, r0) = mk(y, x);
+    let (p1, r1) = mk(x, y);
+    (vec![Box::new(p0), Box::new(p1)], vec![r0, r1])
+}
+
+/// Independent reads of independent writes: two writers, two readers
+/// observing in opposite orders. Invalidation-based coherence is
+/// single-copy atomic, so the readers can never disagree on the write
+/// order (`r2: x=1,y=0` with `r3: y=1,x=0` is forbidden) — SC without
+/// fences.
+pub fn iriw() -> LitmusSetup {
+    let x = Addr::new(0x00);
+    let y = Addr::new(0x40);
+    let writer = |addr| ScriptProgram::new(vec![Instr::Store { addr, value: 1 }]);
+    let reader = |first, second| {
+        ScriptProgram::new(vec![
+            Instr::Load {
+                addr: first,
+                tag: Some(OBSERVED),
+            },
+            Instr::Load {
+                addr: second,
+                tag: Some(2),
+            },
+        ])
+    };
+    let (w0, rw0) = writer(x);
+    let (w1, rw1) = writer(y);
+    let (r0, rr0) = reader(x, y);
+    let (r1, rr1) = reader(y, x);
+    (
+        vec![Box::new(w0), Box::new(w1), Box::new(r0), Box::new(r1)],
+        vec![rw0, rw1, rr0, rr1],
+    )
+}
+
 /// Reads the value a litmus thread observed.
 pub fn observed(regs: &Registers) -> u64 {
     *regs.borrow().get(&OBSERVED).unwrap_or(&u64::MAX)
