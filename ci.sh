@@ -53,6 +53,22 @@ if [ "$QUICK" != "quick" ]; then
   # their full-run contents).
   target/release/perfdiff --check results/bench_baseline.json \
     "$SMOKE/j1/metrics.json"
+
+  echo "== throughput floor (quick grid, serial, >= 1.2M sim-cycles/s) =="
+  # Absolute kernel-speed gate: re-run the quick grid with real timing
+  # (no deterministic masking) and require the event-driven kernel to
+  # sustain the floor. With --metrics the grid runs fence-traced, which
+  # costs ~25%: the post-refactor kernel measures ~1.7M cycles/s traced
+  # on the reference container, the pre-refactor lock-step kernel ~1.0M.
+  # 1.2M sits between the two, so a regression to per-cycle ticking or a
+  # hot-path allocation creep trips it while machine noise does not.
+  # Raise the floor when the kernel gets faster.
+  mkdir -p "$SMOKE/floor"
+  ( cd "$SMOKE/floor" && \
+    ASF_QUICK=1 ASF_JOBS=1 ASF_PROGRESS=0 \
+      "$OLDPWD/target/release/all_experiments" --metrics metrics.json \
+      > stdout.txt )
+  target/release/perfdiff --throughput-floor 1200000 "$SMOKE/floor/metrics.json"
 fi
 
 echo "== synthesis smoke (--quick, jobs=2 == jobs=1, byte-for-byte) =="

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! perfdiff BASE.json NEW.json [--wall-tolerance PCT] [--check]
+//! perfdiff SNAP.json --throughput-floor CPS [NEW.json ...]
 //! ```
 //!
 //! Loads two [`BenchSnapshot`]s, aligns their (section, workload,
@@ -12,6 +13,15 @@
 //! skipped where a side was masked to 0 by deterministic mode. Missing
 //! or extra cells and schema-version drift are failures.
 //!
+//! `--throughput-floor CPS` additionally gates absolute simulator speed:
+//! the last snapshot given must show at least `CPS` simulated cycles per
+//! wall-second in aggregate (sum of per-cell `sim_cycles` over the
+//! snapshot's total wall-clock). With a single path, only the floor is
+//! checked — no baseline needed. The snapshot must carry real wall-clock
+//! (collected *without* `ASF_TELEMETRY_DETERMINISTIC=1`); a masked
+//! snapshot is a usage error, since a floor over masked time would pass
+//! vacuously.
+//!
 //! Exit status: `0` clean, `1` on any breach, `2` on usage/parse errors.
 //! `--check` is accepted for CI readability; gating is always on.
 
@@ -20,9 +30,12 @@ use std::process::exit;
 use asymfence_common::telemetry::{diff, BenchSnapshot, DiffOptions};
 
 const USAGE: &str = "usage: perfdiff BASE.json NEW.json [--wall-tolerance PCT] [--check]\n\
+       perfdiff SNAP.json --throughput-floor CPS [NEW.json ...]\n\
    compares two --metrics snapshots; exit 0 clean, 1 on breach, 2 on usage error\n\
    counters/derived/percentiles gate exactly, wall-clock at +-PCT% (default 50,\n\
-   skipped where a side is 0, i.e. written under ASF_TELEMETRY_DETERMINISTIC=1)";
+   skipped where a side is 0, i.e. written under ASF_TELEMETRY_DETERMINISTIC=1)\n\
+   --throughput-floor CPS also requires the (last) snapshot to sustain CPS\n\
+   simulated cycles per wall-second; needs unmasked wall-clock";
 
 fn load(path: &str) -> BenchSnapshot {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -35,10 +48,40 @@ fn load(path: &str) -> BenchSnapshot {
     })
 }
 
+/// Aggregate simulated cycles per wall-second across a snapshot.
+fn throughput(snap: &BenchSnapshot) -> f64 {
+    let cycles: u64 = snap.entries.iter().map(|e| e.sim_cycles).sum();
+    cycles as f64 * 1e9 / snap.total_wall_ns as f64
+}
+
+fn check_floor(snap: &BenchSnapshot, floor: f64) -> bool {
+    if snap.total_wall_ns == 0 {
+        eprintln!(
+            "perfdiff: `{}` has masked wall-clock (ASF_TELEMETRY_DETERMINISTIC); \
+             a throughput floor needs a snapshot collected with real timing\n{USAGE}",
+            snap.label
+        );
+        exit(2);
+    }
+    let got = throughput(snap);
+    println!(
+        "perfdiff: `{}` throughput {:.2}M cycles/s vs floor {:.2}M cycles/s",
+        snap.label,
+        got / 1e6,
+        floor / 1e6
+    );
+    if got < floor {
+        println!("  BREACH: throughput below floor");
+        return false;
+    }
+    true
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<&str> = Vec::new();
     let mut opts = DiffOptions::default();
+    let mut floor: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -51,6 +94,20 @@ fn main() {
                         exit(2);
                     });
                 opts.wall_tolerance = pct / 100.0;
+                i += 2;
+            }
+            "--throughput-floor" => {
+                let cps: f64 = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v: &f64| *v > 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!(
+                            "perfdiff: --throughput-floor needs cycles/s (positive)\n{USAGE}"
+                        );
+                        exit(2);
+                    });
+                floor = Some(cps);
                 i += 2;
             }
             "--check" => i += 1,
@@ -68,34 +125,44 @@ fn main() {
             }
         }
     }
-    if paths.len() != 2 {
+    let floor_only = floor.is_some() && paths.len() == 1;
+    if paths.len() != 2 && !floor_only {
         eprintln!("{USAGE}");
         exit(2);
     }
-    let base = load(paths[0]);
-    let new = load(paths[1]);
 
-    println!(
-        "perfdiff: base `{}` ({} entries) vs new `{}` ({} entries)",
-        base.label,
-        base.entries.len(),
-        new.label,
-        new.entries.len()
-    );
-    let report = diff(&base, &new, &opts);
-    for note in &report.notes {
-        println!("  note: {note}");
+    let mut clean = true;
+    if paths.len() == 2 {
+        let base = load(paths[0]);
+        let new = load(paths[1]);
+        println!(
+            "perfdiff: base `{}` ({} entries) vs new `{}` ({} entries)",
+            base.label,
+            base.entries.len(),
+            new.label,
+            new.entries.len()
+        );
+        let report = diff(&base, &new, &opts);
+        for note in &report.notes {
+            println!("  note: {note}");
+        }
+        for breach in &report.breaches {
+            println!("  BREACH: {breach}");
+        }
+        println!(
+            "perfdiff: {} cells compared, {} breach(es), {} note(s)",
+            report.compared,
+            report.breaches.len(),
+            report.notes.len()
+        );
+        clean = report.clean();
+        if let Some(floor) = floor {
+            clean &= check_floor(&new, floor);
+        }
+    } else if let Some(floor) = floor {
+        clean = check_floor(&load(paths[0]), floor);
     }
-    for breach in &report.breaches {
-        println!("  BREACH: {breach}");
-    }
-    println!(
-        "perfdiff: {} cells compared, {} breach(es), {} note(s)",
-        report.compared,
-        report.breaches.len(),
-        report.notes.len()
-    );
-    if !report.clean() {
+    if !clean {
         exit(1);
     }
 }

@@ -37,6 +37,8 @@ use asymfence_workloads::ustm::UstmBench;
 pub mod cli;
 pub mod figures;
 pub mod metrics;
+pub mod micro;
+pub mod pool;
 pub mod report;
 pub mod runner;
 pub mod trace;

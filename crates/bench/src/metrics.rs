@@ -163,6 +163,19 @@ impl Collector {
         } else {
             telemetry::peak_rss_bytes().unwrap_or(0)
         };
+        // Pool counters depend on how specs land on worker threads, so
+        // the deterministic mode masks them exactly like wall-clock.
+        snap.pool = if self.deterministic {
+            asymfence_common::telemetry::PoolTelemetry::default()
+        } else {
+            let p = crate::pool::stats();
+            asymfence_common::telemetry::PoolTelemetry {
+                acquires: p.acquires,
+                reuses: p.reuses,
+                builds: p.builds,
+                bytes_reused: p.bytes_reused,
+            }
+        };
         snap.phases = s
             .phases
             .phases()

@@ -1,0 +1,127 @@
+//! Kernel microbenchmark (`--micro N`): raw simulator throughput on one
+//! fixed workload, isolated from grid orchestration.
+//!
+//! The figure grids interleave many workloads, designs and shapes, which
+//! is right for regression gates but noisy for kernel work: a change to
+//! the step loop moves every cell a little. `--micro` pins a single
+//! representative spec — the ustm `counter` microbenchmark under WS+ at
+//! the default core count, a fence-heavy steady-state workload — and
+//! simulates it `N` times back-to-back on this thread's pooled machine
+//! ([`crate::pool`]), printing per-repetition and aggregate simulated
+//! cycles per wall-second to stderr. Nothing is written to stdout, so
+//! the mode composes with shell pipelines that expect figure output to
+//! be absent.
+//!
+//! Repetitions after the first re-arm the warmed machine in place, so
+//! rep 1 vs rep 2+ also exposes the machine-build overhead the pool
+//! saves.
+
+use std::time::Instant;
+
+use asymfence::prelude::*;
+use asymfence_workloads::ustm::UstmBench;
+
+use crate::runner::RunSpec;
+use crate::{RunResult, SEED, USTM_WINDOW};
+
+/// The pinned microbenchmark spec: every `--micro` run everywhere
+/// simulates exactly this, so numbers are comparable across checkouts.
+pub fn spec() -> RunSpec {
+    RunSpec::ustm(UstmBench::Counter, FenceDesign::WsPlus, 8, SEED, USTM_WINDOW)
+}
+
+/// One repetition's outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct Rep {
+    /// Simulated cycles the run covered.
+    pub cycles: u64,
+    /// Wall-clock nanoseconds the run took.
+    pub wall_ns: u64,
+}
+
+impl Rep {
+    /// Simulated cycles per wall-second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.cycles as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+}
+
+/// Runs the pinned spec `reps` times and returns the per-rep timings.
+pub fn run(reps: u64) -> Vec<Rep> {
+    let spec = spec();
+    (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            let r: RunResult = spec.execute();
+            Rep {
+                cycles: r.cycles,
+                wall_ns: t0.elapsed().as_nanos() as u64,
+            }
+        })
+        .collect()
+}
+
+/// Runs the microbenchmark and reports to stderr (the `--micro N` entry
+/// point).
+pub fn report(reps: u64) {
+    let spec = spec();
+    eprintln!("micro: {} x{reps}", spec.label());
+    let timings = run(reps);
+    let mut cycles = 0u64;
+    let mut wall_ns = 0u64;
+    for (i, rep) in timings.iter().enumerate() {
+        cycles += rep.cycles;
+        wall_ns += rep.wall_ns;
+        eprintln!(
+            "micro: rep {}/{reps}: {} cycles in {} ms ({:.2}M cycles/s)",
+            i + 1,
+            rep.cycles,
+            rep.wall_ns / 1_000_000,
+            rep.cycles_per_sec() / 1e6
+        );
+    }
+    let agg = Rep { cycles, wall_ns };
+    let p = crate::pool::stats();
+    eprintln!(
+        "micro: total {} cycles in {} ms ({:.2}M cycles/s); pool {} reuse / {} build",
+        agg.cycles,
+        agg.wall_ns / 1_000_000,
+        agg.cycles_per_sec() / 1e6,
+        p.reuses,
+        p.builds
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reps_are_deterministic_in_simulated_cycles() {
+        let reps = run(2);
+        assert_eq!(reps.len(), 2);
+        assert_eq!(
+            reps[0].cycles, reps[1].cycles,
+            "pooled reruns must simulate identically"
+        );
+        assert!(reps[0].cycles > 0);
+    }
+
+    #[test]
+    fn cycles_per_sec_handles_zero_wall() {
+        let rep = Rep {
+            cycles: 10,
+            wall_ns: 0,
+        };
+        assert_eq!(rep.cycles_per_sec(), 0.0);
+        let rep = Rep {
+            cycles: 2_000_000,
+            wall_ns: 1_000_000_000,
+        };
+        assert!((rep.cycles_per_sec() - 2_000_000.0).abs() < 1e-6);
+    }
+}

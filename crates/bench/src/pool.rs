@@ -1,0 +1,142 @@
+//! Thread-local [`Machine`] pooling for zero-allocation re-runs.
+//!
+//! Building a [`Machine`] allocates every arena the simulator owns —
+//! ROB and write-buffer slabs, L1 line storage, directory maps, NoC
+//! queues. A spec grid builds thousands of machines with identical
+//! hardware shape, so the harness keeps **one warmed machine per worker
+//! thread** and re-arms it with [`Machine::reset`] instead: when the
+//! next spec keeps the machine shape (see
+//! `MachineConfig::same_machine_shape`) every container is cleared in
+//! place and the run touches no allocator at steady state.
+//!
+//! The pool is thread-local because machines are not `Send` (thread
+//! programs hold `Rc` state). Telemetry counters are process-wide
+//! atomics so `--metrics` can report pool effectiveness regardless of
+//! worker count; note the *values* depend on how specs land on workers,
+//! which is why the deterministic telemetry mode masks them (like
+//! wall-clock).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use asymfence::prelude::*;
+
+/// Machines handed out (pool lookups).
+static ACQUIRES: AtomicU64 = AtomicU64::new(0);
+/// Hand-outs that re-armed a warmed machine in place (no allocation).
+static REUSES: AtomicU64 = AtomicU64::new(0);
+/// Hand-outs that built or rebuilt a machine from scratch.
+static BUILDS: AtomicU64 = AtomicU64::new(0);
+/// Total arena bytes kept alive across in-place resets (estimate; see
+/// [`Machine::retained_bytes`]).
+static BYTES_REUSED: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static POOL: RefCell<Option<Machine>> = const { RefCell::new(None) };
+}
+
+/// Snapshot of the process-wide pool counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Machines handed out.
+    pub acquires: u64,
+    /// Hand-outs satisfied by an in-place [`Machine::reset`] (pool hits).
+    pub reuses: u64,
+    /// Hand-outs that (re)built the machine from scratch.
+    pub builds: u64,
+    /// Arena bytes kept alive across in-place resets (estimate).
+    pub bytes_reused: u64,
+}
+
+/// Reads the current pool counters.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        acquires: ACQUIRES.load(Ordering::Relaxed),
+        reuses: REUSES.load(Ordering::Relaxed),
+        builds: BUILDS.load(Ordering::Relaxed),
+        bytes_reused: BYTES_REUSED.load(Ordering::Relaxed),
+    }
+}
+
+/// Runs `f` with this thread's pooled machine re-armed under `cfg`.
+///
+/// The machine keeps its arena allocations whenever `cfg` matches the
+/// shape of the previous run on this thread; otherwise it is rebuilt.
+/// The machine stays in the pool afterwards, warmed for the next call.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid, or propagates any panic from
+/// `f` (the pool slot is left empty in that case, so a poisoned machine
+/// is never reused).
+pub fn with_machine<R>(cfg: MachineConfig, f: impl FnOnce(&mut Machine) -> R) -> R {
+    let cfg = Arc::new(cfg);
+    POOL.with(|cell| {
+        // Take the machine out of the slot while `f` runs: if `f`
+        // panics (a deadlocked to-completion workload asserts), the
+        // half-run machine is dropped instead of being handed out again.
+        let warmed = cell.borrow_mut().take();
+        ACQUIRES.fetch_add(1, Ordering::Relaxed);
+        let mut m = match warmed {
+            Some(mut m) => {
+                let retained = m.retained_bytes() as u64;
+                if m.reset(&cfg) {
+                    REUSES.fetch_add(1, Ordering::Relaxed);
+                    BYTES_REUSED.fetch_add(retained, Ordering::Relaxed);
+                } else {
+                    BUILDS.fetch_add(1, Ordering::Relaxed);
+                }
+                m
+            }
+            None => {
+                BUILDS.fetch_add(1, Ordering::Relaxed);
+                Machine::new_shared(Arc::clone(&cfg))
+            }
+        };
+        let out = f(&mut m);
+        *cell.borrow_mut() = Some(m);
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asymfence_common::config::MachineConfig;
+
+    #[test]
+    fn same_shape_reuses_and_shape_change_rebuilds() {
+        let before = stats();
+        let cfg = MachineConfig::builder().cores(2).seed(1).build();
+        let c0 = with_machine(cfg.clone(), |m| m.config().seed);
+        assert_eq!(c0, 1);
+        // Same shape, different seed: must re-arm in place.
+        let cfg2 = MachineConfig::builder().cores(2).seed(2).build();
+        let c1 = with_machine(cfg2, |m| m.config().seed);
+        assert_eq!(c1, 2);
+        // Different core count: must rebuild.
+        let cfg3 = MachineConfig::builder().cores(4).seed(3).build();
+        let cores = with_machine(cfg3, |m| m.config().num_cores);
+        assert_eq!(cores, 4);
+        let after = stats();
+        assert_eq!(after.acquires - before.acquires, 3);
+        assert!(after.reuses > before.reuses, "same-shape call must hit");
+        assert!(after.builds >= before.builds + 2, "cold + reshape build");
+        assert!(after.bytes_reused > before.bytes_reused);
+    }
+
+    #[test]
+    fn pooled_machine_runs_match_fresh_machine_runs() {
+        let spec = crate::RunSpec::cilk(
+            asymfence_workloads::cilk::CilkApp::Fib,
+            FenceDesign::WsPlus,
+            2,
+            7,
+        );
+        let a = spec.execute(); // pooled
+        let b = spec.execute(); // pooled, reused
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.stats, b.stats);
+    }
+}

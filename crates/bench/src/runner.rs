@@ -347,8 +347,12 @@ impl RunSpec {
         self.config_with_trace(false)
     }
 
-    /// Executes the spec on a freshly built [`Machine`]. Pure: equal
-    /// specs produce equal results, on any thread.
+    /// Executes the spec on this worker's pooled [`Machine`] (see
+    /// [`crate::pool`]): the machine's arenas are re-armed in place when
+    /// the spec keeps the hardware shape, so steady-state grid execution
+    /// never rebuilds a machine. Pure: equal specs produce equal
+    /// results, on any thread — pooling reuses *allocations*, never
+    /// state.
     ///
     /// # Panics
     ///
@@ -357,8 +361,7 @@ impl RunSpec {
     /// asserted, since deadlock is the expected result for some cases.
     pub fn execute(&self) -> RunResult {
         let cfg = self.config();
-        let mut m = Machine::new(&cfg);
-        self.run_machine(&mut m)
+        crate::pool::with_machine(cfg, |m| self.run_machine(m))
     }
 
     /// Executes the spec with the fence-lifecycle trace enabled and
@@ -371,10 +374,11 @@ impl RunSpec {
     /// As [`RunSpec::execute`].
     pub fn execute_traced(&self) -> (RunResult, TraceSink) {
         let cfg = self.config_with_trace(true);
-        let mut m = Machine::new(&cfg);
-        let result = self.run_machine(&mut m);
-        let trace = m.take_trace().expect("record_trace was enabled");
-        (result, trace)
+        crate::pool::with_machine(cfg, |m| {
+            let result = self.run_machine(m);
+            let trace = m.take_trace().expect("record_trace was enabled");
+            (result, trace)
+        })
     }
 
     fn run_machine(&self, m: &mut Machine) -> RunResult {
@@ -449,8 +453,7 @@ impl RunSpec {
                 }
             }
             Workload::Sites(bench) => {
-                let cfg = m.config().clone();
-                for p in bench.programs(&cfg, self.seed) {
+                for p in bench.programs(m.config(), self.seed) {
                     m.add_thread(p);
                 }
                 let outcome = m.run(50_000_000);

@@ -1,0 +1,149 @@
+//! Pins the tentpole zero-allocation property: re-arming a warmed
+//! [`Machine`] with [`Machine::reset`] and running a workload touches
+//! the heap **zero** times.
+//!
+//! A counting [`GlobalAlloc`] wraps the system allocator; counting is
+//! switched on only around the steady-state region (reset + add
+//! prebuilt threads + run), so the warm-up run and program construction
+//! — which legitimately allocate — stay outside the window. The test
+//! workload issues stores striped over a few per-core private lines:
+//! load MSHRs, request parking and trace/SCV logging are off the code
+//! path by construction, which is exactly the steady-state profile the
+//! pool optimizes (see `DESIGN.md` §5g).
+//!
+//! This file holds a single test on purpose: a sibling test running
+//! concurrently would allocate while the counter is armed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use asymfence::cpu::program::{Fetch, Instr, ThreadProgram};
+use asymfence::prelude::*;
+use asymfence_common::config::MachineConfig;
+use asymfence_common::ids::Addr;
+
+/// System allocator wrapper that counts (de)allocations while armed.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static REALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            REALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Stores striped over `LINES` private lines, then done. Heap-free in
+/// `fetch`/`deliver`, so every counted allocation belongs to the
+/// simulator.
+#[derive(Clone, Copy)]
+struct StripeStores {
+    base: u64,
+    line_bytes: u64,
+    remaining: u64,
+}
+
+const LINES: u64 = 8;
+
+impl ThreadProgram for StripeStores {
+    fn fetch(&mut self) -> Fetch {
+        if self.remaining == 0 {
+            return Fetch::Done;
+        }
+        self.remaining -= 1;
+        let line = self.remaining % LINES;
+        Fetch::Instr(Instr::Store {
+            addr: Addr::new(self.base + line * self.line_bytes),
+            value: self.remaining,
+        })
+    }
+
+    fn deliver(&mut self, _tag: u64, _value: u64) {}
+
+    fn snapshot(&self) -> Box<dyn ThreadProgram> {
+        Box::new(*self)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+fn programs(cfg: &MachineConfig) -> Vec<Box<dyn ThreadProgram>> {
+    (0..cfg.num_cores)
+        .map(|core| {
+            Box::new(StripeStores {
+                // Disjoint per-core regions: no sharing, no parking.
+                base: 0x1_0000 * (core as u64 + 1),
+                line_bytes: cfg.line_bytes,
+                remaining: 4096,
+            }) as Box<dyn ThreadProgram>
+        })
+        .collect()
+}
+
+#[test]
+fn pooled_reset_and_run_is_allocation_free() {
+    let cfg = Arc::new(
+        MachineConfig::builder()
+            .cores(2)
+            .fence_design(FenceDesign::SPlus)
+            .seed(1)
+            .build(),
+    );
+
+    // Warm-up: builds the machine and grows every container (heaps,
+    // maps, cache arrays, write-buffer slabs) to its steady-state
+    // capacity. Allocations here are expected and uncounted.
+    let mut m = Machine::new_shared(Arc::clone(&cfg));
+    for p in programs(&cfg) {
+        m.add_thread(p);
+    }
+    let warm_outcome = m.run(u64::MAX);
+    assert_eq!(warm_outcome, RunOutcome::Finished);
+    let warm_cycles = m.now();
+
+    // Prebuild the second run's thread programs outside the window (the
+    // boxes themselves allocate).
+    let progs = programs(&cfg);
+
+    // Steady state: reset + install + run, with the counter armed.
+    ARMED.store(true, Ordering::SeqCst);
+    let reused = m.reset(&cfg);
+    for p in progs {
+        m.add_thread(p);
+    }
+    let outcome = m.run(u64::MAX);
+    ARMED.store(false, Ordering::SeqCst);
+
+    assert!(reused, "same shape must re-arm in place, not rebuild");
+    assert_eq!(outcome, RunOutcome::Finished);
+    assert_eq!(m.now(), warm_cycles, "reset must reproduce the run exactly");
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    let reallocs = REALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        (allocs, reallocs),
+        (0, 0),
+        "steady-state pooled run must not touch the heap"
+    );
+}

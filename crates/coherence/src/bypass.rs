@@ -131,12 +131,15 @@ impl BypassSet {
         self.entries.is_empty()
     }
 
-    /// Number of distinct lines currently covered.
+    /// Number of distinct lines currently covered. Counted by a
+    /// first-occurrence scan (the set holds at most a few dozen entries)
+    /// so the per-fence-completion stats harvest never allocates.
     pub fn distinct_lines(&self) -> usize {
-        let mut lines: Vec<LineAddr> = self.entries.iter().map(|e| e.line).collect();
-        lines.sort_unstable();
-        lines.dedup();
-        lines.len()
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| !self.entries[..*i].iter().any(|p| p.line == e.line))
+            .count()
     }
 
     /// Peak occupancy since construction.
@@ -152,6 +155,20 @@ impl BypassSet {
     /// Returns and clears the "bounced something" flag.
     pub fn take_bounced_flag(&mut self) -> bool {
         std::mem::take(&mut self.bounced_flag)
+    }
+
+    /// Approximate bytes of heap capacity retained across resets (for
+    /// pool telemetry).
+    pub fn retained_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<BsEntry>()
+    }
+
+    /// Restores the as-new state for machine reuse, keeping the entry
+    /// allocation.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.bounced_flag = false;
+        self.peak = 0;
     }
 }
 

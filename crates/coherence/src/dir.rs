@@ -19,7 +19,7 @@
 //!   Order) write: the update is merged into memory here, Bypass-Set
 //!   holders stay sharers, and the requester receives the line Shared.
 
-use std::collections::HashMap;
+use asymfence_common::hash::{FxBuildHasher, FxHashMap};
 
 use asymfence_common::ids::{BankId, LineAddr};
 
@@ -37,7 +37,7 @@ pub struct Outgoing {
 }
 
 /// Directory record for one line.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default)]
 struct DirLine {
     owner: Option<usize>,
     sharers: u64,
@@ -52,7 +52,7 @@ enum TxnKind {
 }
 
 /// An in-flight transaction on one line.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 struct Txn {
     kind: TxnKind,
     requester: usize,
@@ -60,7 +60,7 @@ struct Txn {
     bounced: bool,
     any_true_share: bool,
     order: OrderMode,
-    updates: Vec<WordUpdate>,
+    update: Option<WordUpdate>,
 }
 
 impl Txn {
@@ -72,7 +72,7 @@ impl Txn {
             bounced: false,
             any_true_share: false,
             order: OrderMode::None,
-            updates: Vec::new(),
+            update: None,
         }
     }
 }
@@ -144,12 +144,12 @@ pub struct DirBank {
     l2_hit_cycles: u64,
     mem_cycles: u64,
     interleave_lines: u64,
-    lines: HashMap<LineAddr, DirLine>,
-    busy: HashMap<LineAddr, Txn>,
-    waiting: HashMap<LineAddr, std::collections::VecDeque<Msg>>,
-    image: HashMap<LineAddr, LineData>,
+    lines: FxHashMap<LineAddr, DirLine>,
+    busy: FxHashMap<LineAddr, Txn>,
+    waiting: FxHashMap<LineAddr, std::collections::VecDeque<Msg>>,
+    image: FxHashMap<LineAddr, LineData>,
     l2: L2Tags,
-    grt: HashMap<usize, Vec<(u64, Vec<LineAddr>)>>,
+    grt: FxHashMap<usize, Vec<(u64, Vec<LineAddr>)>>,
     counters: BankCounters,
 }
 
@@ -179,12 +179,15 @@ impl DirBank {
             l2_hit_cycles,
             mem_cycles,
             interleave_lines,
-            lines: HashMap::new(),
-            busy: HashMap::new(),
-            waiting: HashMap::new(),
-            image: HashMap::new(),
+            // `lines` and `image` track the bank's share of the touched
+            // working set; pre-sizing them past the typical footprint
+            // keeps growth rehashes out of the simulation loop.
+            lines: FxHashMap::with_capacity_and_hasher(256, FxBuildHasher::default()),
+            busy: FxHashMap::with_capacity_and_hasher(64, FxBuildHasher::default()),
+            waiting: FxHashMap::with_capacity_and_hasher(64, FxBuildHasher::default()),
+            image: FxHashMap::with_capacity_and_hasher(256, FxBuildHasher::default()),
             l2: L2Tags::new(l2_sets, l2_ways),
-            grt: HashMap::new(),
+            grt: FxHashMap::with_capacity_and_hasher(16, FxBuildHasher::default()),
             counters: BankCounters {
                 orders: vec![0; num_cores],
                 co_failures: vec![0; num_cores],
@@ -226,7 +229,28 @@ impl DirBank {
     /// Writes one word straight into the memory image (initialization).
     pub fn backdoor_write(&mut self, line: LineAddr, word: usize, value: u64) {
         let wpl = self.words_per_line;
-        self.image.entry(line).or_insert_with(|| vec![0; wpl])[word] = value;
+        self.image
+            .entry(line)
+            .or_insert_with(|| LineData::zeroed(wpl))[word] = value;
+    }
+
+    /// Restores the as-new state for machine reuse, keeping every map's
+    /// allocation so a warmed pool runs allocation-free.
+    pub fn reset(&mut self) {
+        self.lines.clear();
+        self.busy.clear();
+        self.waiting.clear();
+        self.image.clear();
+        for set in &mut self.l2.sets {
+            set.clear();
+        }
+        self.l2.clock = 0;
+        self.grt.clear();
+        self.counters.orders.fill(0);
+        self.counters.co_failures.fill(0);
+        self.counters.co_successes.fill(0);
+        self.counters.l2_misses = 0;
+        self.counters.busy_nacks = 0;
     }
 
     /// Marks a line resident in this bank's L2 (models data the program
@@ -248,10 +272,7 @@ impl DirBank {
 
     fn line_data(&mut self, line: LineAddr) -> LineData {
         let wpl = self.words_per_line;
-        self.image
-            .entry(line)
-            .or_insert_with(|| vec![0; wpl])
-            .clone()
+        *self.image.entry(line).or_insert_with(|| LineData::zeroed(wpl))
     }
 
     /// Line address with the bank-selection bits stripped, so this bank's
@@ -272,35 +293,50 @@ impl DirBank {
 
     fn merge_image(&mut self, line: LineAddr, data: &[u64]) {
         let wpl = self.words_per_line;
-        let slot = self.image.entry(line).or_insert_with(|| vec![0; wpl]);
+        let slot = self
+            .image
+            .entry(line)
+            .or_insert_with(|| LineData::zeroed(wpl));
         slot.copy_from_slice(data);
     }
 
-    fn merge_updates(&mut self, line: LineAddr, updates: &[WordUpdate]) {
+    fn merge_update(&mut self, line: LineAddr, update: Option<WordUpdate>) {
         let wpl = self.words_per_line;
-        let slot = self.image.entry(line).or_insert_with(|| vec![0; wpl]);
-        for u in updates {
+        let slot = self
+            .image
+            .entry(line)
+            .or_insert_with(|| LineData::zeroed(wpl));
+        if let Some(u) = update {
             slot[u.word as usize] = u.value;
         }
     }
 
     /// Handles one incoming message, returning the replies to inject.
-    /// Requests for busy lines are parked and serviced FIFO when the
-    /// line frees.
+    /// Convenience wrapper over [`DirBank::handle_into`] for tests; the
+    /// hot path passes a reusable buffer instead.
+    pub fn handle(&mut self, msg: Msg) -> Vec<Outgoing> {
+        let mut out = Vec::new();
+        self.handle_into(msg, &mut out);
+        out
+    }
+
+    /// Handles one incoming message, pushing the replies to inject onto
+    /// `out`. Requests for busy lines are parked and serviced FIFO when
+    /// the line frees.
     ///
     /// # Panics
     ///
     /// Panics if handed a message type that cores, not banks, receive.
-    pub fn handle(&mut self, msg: Msg) -> Vec<Outgoing> {
+    pub fn handle_into(&mut self, msg: Msg, out: &mut Vec<Outgoing>) {
         // Park requests targeting busy lines.
         if let Msg::GetS { line, .. } | Msg::GetX { line, .. } = &msg {
             if self.busy.contains_key(line) {
                 self.counters.busy_nacks += 1;
                 self.waiting.entry(*line).or_default().push_back(msg);
-                return Vec::new();
+                return;
             }
         }
-        let mut out = self.handle_inner(msg);
+        self.handle_inner(msg, out);
         // Service parked requests on lines that just freed. Each request
         // re-busies its line, so this loop services at most one waiter
         // per freed line per incoming message.
@@ -324,35 +360,31 @@ impl DirBank {
                 if q.is_empty() {
                     self.waiting.remove(&line);
                 }
-                out.extend(self.handle_inner(next));
+                self.handle_inner(next, out);
                 progressed = true;
             }
             if !progressed {
                 break;
             }
         }
-        out
     }
 
-    fn handle_inner(&mut self, msg: Msg) -> Vec<Outgoing> {
+    fn handle_inner(&mut self, msg: Msg, out: &mut Vec<Outgoing>) {
         match msg {
-            Msg::GetS { core, line } => self.handle_gets(core.0, line),
+            Msg::GetS { core, line } => self.handle_gets(core.0, line, out),
             Msg::GetX {
                 core,
                 line,
-                updates,
+                update,
                 order,
                 ..
-            } => self.handle_getx(core.0, line, updates, order),
+            } => self.handle_getx(core.0, line, update, order, out),
             Msg::PutM {
                 core,
                 line,
                 data,
                 keep_sharer,
-            } => {
-                self.handle_putm(core.0, line, data, keep_sharer);
-                Vec::new()
-            }
+            } => self.handle_putm(core.0, line, data, keep_sharer),
             Msg::InvAck {
                 core,
                 line,
@@ -360,13 +392,15 @@ impl DirBank {
                 keep_sharer,
                 true_share,
                 data,
-            } => self.handle_inv_ack(core.0, line, bounced, keep_sharer, true_share, data),
-            Msg::DowngradeAck { core, line, data } => self.handle_downgrade_ack(core.0, line, data),
+            } => self.handle_inv_ack(core.0, line, bounced, keep_sharer, true_share, data, out),
+            Msg::DowngradeAck { core, line, data } => {
+                self.handle_downgrade_ack(core.0, line, data, out)
+            }
             Msg::GrtDepositAndRead {
                 core,
                 fence_serial,
                 ps,
-            } => self.handle_grt_deposit(core.0, fence_serial, ps),
+            } => self.handle_grt_deposit(core.0, fence_serial, ps, out),
             Msg::GrtRead { core, fence_serial } => {
                 let mut remote: Vec<LineAddr> = self
                     .grt
@@ -376,14 +410,14 @@ impl DirBank {
                     .collect();
                 remote.sort_unstable();
                 remote.dedup();
-                vec![Outgoing {
+                out.push(Outgoing {
                     dst: core.0,
                     delay: 1,
                     msg: Msg::GrtReply {
                         fence_serial,
                         remote_ps: remote,
                     },
-                }]
+                });
             }
             Msg::GrtRemove { core, fence_serial } => {
                 if let Some(entries) = self.grt.get_mut(&core.0) {
@@ -392,7 +426,6 @@ impl DirBank {
                         self.grt.remove(&core.0);
                     }
                 }
-                Vec::new()
             }
             Msg::Unblock { core, line } => {
                 if let Some(txn) = self.busy.get(&line) {
@@ -400,13 +433,12 @@ impl DirBank {
                         self.busy.remove(&line);
                     }
                 }
-                Vec::new()
             }
             other => panic!("bank received core-bound message {other:?}"),
         }
     }
 
-    fn handle_gets(&mut self, core: usize, line: LineAddr) -> Vec<Outgoing> {
+    fn handle_gets(&mut self, core: usize, line: LineAddr, out: &mut Vec<Outgoing>) {
         debug_assert!(!self.busy.contains_key(&line), "parked by handle()");
         let dl = self.lines.entry(line).or_default();
         if let Some(owner) = dl.owner {
@@ -420,14 +452,15 @@ impl DirBank {
                         bounced: false,
                         any_true_share: false,
                         order: OrderMode::None,
-                        updates: Vec::new(),
+                        update: None,
                     },
                 );
-                return vec![Outgoing {
+                out.push(Outgoing {
                     dst: owner,
                     delay: 1,
                     msg: Msg::FetchDowngrade { line },
-                }];
+                });
+                return;
             }
         }
         // No remote owner: serve from L2/memory.
@@ -452,34 +485,34 @@ impl DirBank {
             Msg::DataS { line, data }
         };
         self.busy.insert(line, Txn::await_unblock(core));
-        vec![Outgoing {
+        out.push(Outgoing {
             dst: core,
             delay,
             msg,
-        }]
+        });
     }
 
     fn handle_getx(
         &mut self,
         core: usize,
         line: LineAddr,
-        updates: Vec<WordUpdate>,
+        update: Option<WordUpdate>,
         order: OrderMode,
-    ) -> Vec<Outgoing> {
+        out: &mut Vec<Outgoing>,
+    ) {
         debug_assert!(!self.busy.contains_key(&line), "parked by handle()");
-        let dl = self.lines.entry(line).or_default().clone();
-        let mut targets: Vec<usize> = Vec::new();
+        let dl = *self.lines.entry(line).or_default();
+        // Invalidation targets: the remote owner (first, matching the
+        // directory's historical fan-out order), then remote sharers in
+        // core order. Counted via the sharer bitmask so the fan-out
+        // never allocates.
+        let owner_target = dl.owner.filter(|&o| o != core);
+        let mut sharer_mask = dl.sharers & !(1 << core);
         if let Some(o) = dl.owner {
-            if o != core {
-                targets.push(o);
-            }
+            sharer_mask &= !(1 << o);
         }
-        for c in 0..self.num_cores {
-            if c != core && dl.sharers & (1 << c) != 0 && Some(c) != dl.owner {
-                targets.push(c);
-            }
-        }
-        if targets.is_empty() {
+        let n_targets = u32::from(owner_target.is_some()) + sharer_mask.count_ones();
+        if n_targets == 0 {
             // Immediate grant.
             let delay = self.l2_access_delay(line);
             let data = self.line_data(line);
@@ -487,40 +520,44 @@ impl DirBank {
             dl.owner = Some(core);
             dl.sharers = 0;
             self.busy.insert(line, Txn::await_unblock(core));
-            return vec![Outgoing {
+            out.push(Outgoing {
                 dst: core,
                 delay,
                 msg: Msg::DataM { line, data },
-            }];
+            });
+            return;
         }
-        let word_mask = updates
-            .iter()
-            .fold(0u32, |m, u| m | (1 << u.word));
+        let word_mask = update.map_or(0u32, |u| 1 << u.word);
         self.busy.insert(
             line,
             Txn {
                 kind: TxnKind::Write,
                 requester: core,
-                pending_acks: targets.len() as u32,
+                pending_acks: n_targets,
                 bounced: false,
                 any_true_share: false,
                 order,
-                updates,
+                update,
             },
         );
-        targets
-            .into_iter()
-            .map(|t| Outgoing {
-                dst: t,
-                delay: 1,
-                msg: Msg::Inv {
-                    line,
-                    requester: asymfence_common::ids::CoreId(core),
-                    order,
-                    word_mask,
-                },
-            })
-            .collect()
+        let inv = |t: usize| Outgoing {
+            dst: t,
+            delay: 1,
+            msg: Msg::Inv {
+                line,
+                requester: asymfence_common::ids::CoreId(core),
+                order,
+                word_mask,
+            },
+        };
+        if let Some(o) = owner_target {
+            out.push(inv(o));
+        }
+        for c in 0..self.num_cores {
+            if sharer_mask & (1 << c) != 0 {
+                out.push(inv(c));
+            }
+        }
     }
 
     fn handle_putm(&mut self, core: usize, line: LineAddr, data: LineData, keep_sharer: bool) {
@@ -535,6 +572,7 @@ impl DirBank {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_inv_ack(
         &mut self,
         core: usize,
@@ -543,12 +581,13 @@ impl DirBank {
         keep_sharer: bool,
         true_share: bool,
         data: Option<LineData>,
-    ) -> Vec<Outgoing> {
+        out: &mut Vec<Outgoing>,
+    ) {
         if let Some(d) = data {
             self.merge_image(line, &d);
         }
         let Some(txn) = self.busy.get_mut(&line) else {
-            return Vec::new(); // stale ack after a racing writeback
+            return; // stale ack after a racing writeback
         };
         debug_assert_eq!(txn.kind, TxnKind::Write);
         txn.bounced |= bounced;
@@ -570,7 +609,7 @@ impl DirBank {
             txn.pending_acks == 0
         };
         if !done {
-            return Vec::new();
+            return;
         }
         let txn = self.busy.remove(&line).expect("busy");
         let failed = txn.bounced || (txn.order == OrderMode::CondOrder && txn.any_true_share);
@@ -578,16 +617,17 @@ impl DirBank {
             if txn.order == OrderMode::CondOrder {
                 self.counters.co_failures[txn.requester] += 1;
             }
-            return vec![Outgoing {
+            out.push(Outgoing {
                 dst: txn.requester,
                 delay: 1,
                 msg: Msg::NackBounce { line },
-            }];
+            });
+            return;
         }
         if txn.order != OrderMode::None {
             // Order / all-false Conditional Order completion: merge the
             // update in memory; requester and BS holders are sharers.
-            self.merge_updates(line, &txn.updates);
+            self.merge_update(line, txn.update);
             let dl = self.lines.entry(line).or_default();
             dl.owner = None;
             dl.sharers |= 1 << txn.requester;
@@ -598,11 +638,12 @@ impl DirBank {
             }
             let data = self.line_data(line);
             self.busy.insert(line, Txn::await_unblock(txn.requester));
-            return vec![Outgoing {
+            out.push(Outgoing {
                 dst: txn.requester,
                 delay: 1,
                 msg: Msg::OrderDone { line, data },
-            }];
+            });
+            return;
         }
         // Plain write success.
         let dl = self.lines.entry(line).or_default();
@@ -610,11 +651,11 @@ impl DirBank {
         dl.sharers = 0;
         let data = self.line_data(line);
         self.busy.insert(line, Txn::await_unblock(txn.requester));
-        vec![Outgoing {
+        out.push(Outgoing {
             dst: txn.requester,
             delay: 1,
             msg: Msg::DataM { line, data },
-        }]
+        });
     }
 
     fn handle_downgrade_ack(
@@ -622,15 +663,16 @@ impl DirBank {
         core: usize,
         line: LineAddr,
         data: Option<LineData>,
-    ) -> Vec<Outgoing> {
+        out: &mut Vec<Outgoing>,
+    ) {
         if let Some(d) = data {
             self.merge_image(line, &d);
         }
         let Some(txn) = self.busy.get(&line) else {
-            return Vec::new();
+            return;
         };
         if txn.kind != TxnKind::Read {
-            return Vec::new();
+            return;
         }
         let txn = self.busy.remove(&line).expect("busy");
         let dl = self.lines.entry(line).or_default();
@@ -644,11 +686,11 @@ impl DirBank {
         let delay = self.l2_access_delay(line);
         let data = self.line_data(line);
         self.busy.insert(line, Txn::await_unblock(txn.requester));
-        vec![Outgoing {
+        out.push(Outgoing {
             dst: txn.requester,
             delay,
             msg: Msg::DataS { line, data },
-        }]
+        });
     }
 
     fn handle_grt_deposit(
@@ -656,7 +698,8 @@ impl DirBank {
         core: usize,
         fence_serial: u64,
         ps: Vec<LineAddr>,
-    ) -> Vec<Outgoing> {
+        out: &mut Vec<Outgoing>,
+    ) {
         self.grt.entry(core).or_default().push((fence_serial, ps));
         let mut remote: Vec<LineAddr> = self
             .grt
@@ -666,14 +709,14 @@ impl DirBank {
             .collect();
         remote.sort_unstable();
         remote.dedup();
-        vec![Outgoing {
+        out.push(Outgoing {
             dst: core,
             delay: 1,
             msg: Msg::GrtReply {
                 fence_serial,
                 remote_ps: remote,
             },
-        }]
+        });
     }
 }
 
@@ -744,7 +787,7 @@ mod tests {
         let out = b.handle(Msg::DowngradeAck {
             core: CoreId(1),
             line: la(0),
-            data: Some(vec![9, 9, 9, 9]),
+            data: Some(LineData::from_words(&[9, 9, 9, 9])),
         });
         assert_eq!(out[0].dst, 2);
         assert!(matches!(&out[0].msg, Msg::DataS { data, .. } if data[0] == 9));
@@ -767,7 +810,7 @@ mod tests {
         let out = b.handle(Msg::GetX {
             core: CoreId(0),
             line: la(3),
-            updates: vec![upd(1, 42)],
+            update: Some(upd(1, 42)),
             order: OrderMode::None,
             attempt: 0,
         });
@@ -799,7 +842,7 @@ mod tests {
         let out = b.handle(Msg::GetX {
             core: CoreId(3),
             line: la(0),
-            updates: vec![upd(0, 7)],
+            update: Some(upd(0, 7)),
             order: OrderMode::None,
             attempt: 0,
         });
@@ -840,7 +883,7 @@ mod tests {
         let out = b.handle(Msg::GetX {
             core: CoreId(2),
             line: la(0),
-            updates: vec![upd(0, 1)],
+            update: Some(upd(0, 1)),
             order: OrderMode::None,
             attempt: 0,
         });
@@ -870,7 +913,7 @@ mod tests {
         b.handle(Msg::GetX {
             core: CoreId(2),
             line: la(0),
-            updates: vec![upd(2, 77)],
+            update: Some(upd(2, 77)),
             order: OrderMode::Order,
             attempt: 1,
         });
@@ -900,7 +943,7 @@ mod tests {
         b.handle(Msg::GetX {
             core: CoreId(2),
             line: la(0),
-            updates: vec![upd(0, 5)],
+            update: Some(upd(0, 5)),
             order: OrderMode::CondOrder,
             attempt: 1,
         });
@@ -933,7 +976,7 @@ mod tests {
         b.handle(Msg::GetX {
             core: CoreId(2),
             line: la(0),
-            updates: vec![upd(3, 9)],
+            update: Some(upd(3, 9)),
             order: OrderMode::CondOrder,
             attempt: 1,
         });
@@ -956,14 +999,14 @@ mod tests {
         b.handle(Msg::GetX {
             core: CoreId(0),
             line: la(1),
-            updates: vec![upd(0, 1)],
+            update: Some(upd(0, 1)),
             order: OrderMode::None,
             attempt: 0,
         });
         b.handle(Msg::PutM {
             core: CoreId(0),
             line: la(1),
-            data: vec![1, 2, 3, 4],
+            data: LineData::from_words(&[1, 2, 3, 4]),
             keep_sharer: true,
         });
         assert_eq!(b.owner_of(la(1)), None);
@@ -1015,7 +1058,7 @@ mod tests {
         b.handle(Msg::PutM {
             core: CoreId(0),
             line: la(0),
-            data: vec![0; 4],
+            data: LineData::zeroed(4),
             keep_sharer: false,
         });
         let out = b.handle(Msg::GetS {

@@ -49,10 +49,11 @@ pub struct Evicted {
 ///
 /// ```
 /// use asymfence_coherence::l1::{L1Cache, L1State};
+/// use asymfence_coherence::msg::LineData;
 /// use asymfence_common::ids::LineAddr;
 ///
 /// let mut l1 = L1Cache::new(2, 2, 4);
-/// l1.insert(LineAddr::from_raw(0), L1State::E, vec![0; 4]);
+/// l1.insert(LineAddr::from_raw(0), L1State::E, LineData::zeroed(4));
 /// assert!(l1.lookup(LineAddr::from_raw(0)).is_some());
 /// assert!(l1.lookup(LineAddr::from_raw(2)).is_none()); // same set, absent
 /// ```
@@ -151,7 +152,7 @@ impl L1Cache {
     pub fn downgrade(&mut self, line: LineAddr) -> Option<Option<LineData>> {
         let idx = self.set_index(line);
         let entry = self.sets[idx].iter_mut().find(|l| l.line == line)?;
-        let dirty = (entry.state == L1State::M).then(|| entry.data.clone());
+        let dirty = (entry.state == L1State::M).then_some(entry.data);
         entry.state = L1State::S;
         Some(dirty)
     }
@@ -159,6 +160,24 @@ impl L1Cache {
     /// Number of resident lines (for tests/stats).
     pub fn resident(&self) -> usize {
         self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Approximate bytes of heap capacity retained across resets (for
+    /// pool telemetry).
+    pub fn retained_bytes(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.capacity() * std::mem::size_of::<L1Line>())
+            .sum()
+    }
+
+    /// Empties the cache for machine reuse, keeping every set's
+    /// allocation so a warmed pool runs allocation-free.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.clock = 0;
     }
 }
 
@@ -170,13 +189,17 @@ mod tests {
         LineAddr::from_raw(n)
     }
 
+    fn ld(words: &[u64]) -> LineData {
+        LineData::from_words(words)
+    }
+
     #[test]
     fn lru_evicts_least_recently_used() {
         let mut l1 = L1Cache::new(1, 2, 1);
-        l1.insert(la(1), L1State::S, vec![1]);
-        l1.insert(la(2), L1State::S, vec![2]);
+        l1.insert(la(1), L1State::S, ld(&[1]));
+        l1.insert(la(2), L1State::S, ld(&[2]));
         l1.lookup(la(1)); // touch 1 so 2 is LRU
-        let ev = l1.insert(la(3), L1State::S, vec![3]).expect("eviction");
+        let ev = l1.insert(la(3), L1State::S, ld(&[3])).expect("eviction");
         assert_eq!(ev.line, la(2));
         assert_eq!(ev.dirty, None, "clean eviction is silent");
         assert!(l1.peek(la(1)).is_some());
@@ -186,29 +209,29 @@ mod tests {
     #[test]
     fn dirty_eviction_returns_data() {
         let mut l1 = L1Cache::new(1, 1, 2);
-        l1.insert(la(1), L1State::M, vec![7, 8]);
-        let ev = l1.insert(la(2), L1State::S, vec![0, 0]).expect("eviction");
+        l1.insert(la(1), L1State::M, ld(&[7, 8]));
+        let ev = l1.insert(la(2), L1State::S, ld(&[0, 0])).expect("eviction");
         assert_eq!(ev.line, la(1));
-        assert_eq!(ev.dirty, Some(vec![7, 8]));
+        assert_eq!(ev.dirty, Some(ld(&[7, 8])));
     }
 
     #[test]
     fn reinsert_updates_in_place() {
         let mut l1 = L1Cache::new(1, 1, 1);
-        l1.insert(la(1), L1State::S, vec![1]);
-        assert!(l1.insert(la(1), L1State::M, vec![2]).is_none());
+        l1.insert(la(1), L1State::S, ld(&[1]));
+        assert!(l1.insert(la(1), L1State::M, ld(&[2])).is_none());
         let line = l1.peek(la(1)).unwrap();
         assert_eq!(line.state, L1State::M);
-        assert_eq!(line.data, vec![2]);
+        assert_eq!(line.data, ld(&[2]));
         assert_eq!(l1.resident(), 1);
     }
 
     #[test]
     fn invalidate_reports_dirtiness() {
         let mut l1 = L1Cache::new(2, 2, 1);
-        l1.insert(la(0), L1State::M, vec![9]);
-        l1.insert(la(1), L1State::S, vec![4]);
-        assert_eq!(l1.invalidate(la(0)), Some(vec![9]));
+        l1.insert(la(0), L1State::M, ld(&[9]));
+        l1.insert(la(1), L1State::S, ld(&[4]));
+        assert_eq!(l1.invalidate(la(0)), Some(ld(&[9])));
         assert_eq!(l1.invalidate(la(1)), None);
         assert_eq!(l1.invalidate(la(5)), None, "absent line");
         assert_eq!(l1.resident(), 0);
@@ -217,8 +240,8 @@ mod tests {
     #[test]
     fn downgrade_keeps_line_shared() {
         let mut l1 = L1Cache::new(1, 2, 1);
-        l1.insert(la(1), L1State::M, vec![3]);
-        assert_eq!(l1.downgrade(la(1)), Some(Some(vec![3])));
+        l1.insert(la(1), L1State::M, ld(&[3]));
+        assert_eq!(l1.downgrade(la(1)), Some(Some(ld(&[3]))));
         assert_eq!(l1.peek(la(1)).unwrap().state, L1State::S);
         assert_eq!(l1.downgrade(la(1)), Some(None), "already clean");
         assert_eq!(l1.downgrade(la(9)), None, "absent");
@@ -227,11 +250,11 @@ mod tests {
     #[test]
     fn sets_are_independent() {
         let mut l1 = L1Cache::new(2, 1, 1);
-        l1.insert(la(0), L1State::S, vec![0]); // set 0
-        l1.insert(la(1), L1State::S, vec![1]); // set 1
+        l1.insert(la(0), L1State::S, ld(&[0])); // set 0
+        l1.insert(la(1), L1State::S, ld(&[1])); // set 1
         assert_eq!(l1.resident(), 2);
         // Same set as line 0 evicts only from set 0.
-        let ev = l1.insert(la(2), L1State::S, vec![2]).unwrap();
+        let ev = l1.insert(la(2), L1State::S, ld(&[2])).unwrap();
         assert_eq!(ev.line, la(0));
         assert!(l1.peek(la(1)).is_some());
     }

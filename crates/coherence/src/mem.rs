@@ -9,9 +9,11 @@
 //! [`MemSystem::pop_event`].
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 use asymfence_common::config::MachineConfig;
+use asymfence_common::hash::{FxBuildHasher, FxHashMap};
 use asymfence_common::ids::{Addr, BankId, CoreId, Cycle, LineAddr};
 use asymfence_common::schedule::{ChoiceKind, ChoicePoint, ScheduleOracle, ScheduleRecording};
 use asymfence_common::stats::TrafficStats;
@@ -20,7 +22,7 @@ use asymfence_common::trace_event;
 use asymfence_noc::{Mesh, Network};
 
 use crate::bypass::BypassSet;
-use crate::dir::{BankCounters, DirBank};
+use crate::dir::{BankCounters, DirBank, Outgoing};
 use crate::l1::{L1Cache, L1State};
 use crate::msg::{msg_bytes, msg_is_retry, LineData, Msg, OrderMode, RmwKind, WordUpdate};
 
@@ -136,10 +138,10 @@ struct WeePending {
 struct CorePort {
     l1: L1Cache,
     bs: BypassSet,
-    mshrs: HashMap<LineAddr, Mshr>,
+    mshrs: FxHashMap<LineAddr, Mshr>,
     /// In-flight write transactions, keyed by line (at most one per line;
     /// TSO issues one total, wider merge widths several).
-    pending_stores: HashMap<LineAddr, PendingStore>,
+    pending_stores: FxHashMap<LineAddr, PendingStore>,
     order_mode: OrderMode,
     wee: Option<WeePending>,
     events: VecDeque<MemEvent>,
@@ -168,7 +170,7 @@ impl Ord for LocalEvSlot {
 
 /// The full memory hierarchy of the simulated machine.
 pub struct MemSystem {
-    cfg: MachineConfig,
+    cfg: Arc<MachineConfig>,
     ports: Vec<CorePort>,
     banks: Vec<DirBank>,
     net: Network<Msg>,
@@ -185,6 +187,9 @@ pub struct MemSystem {
     /// Fence-lifecycle trace sink; `None` unless `record_trace` is set.
     /// Pure observation — never read back by the protocol.
     trace: Option<TraceSink>,
+    /// Reusable buffer for directory-bank outgoing messages (kept across
+    /// dispatches so the hot path never allocates).
+    scratch: Vec<Outgoing>,
 }
 
 impl MemSystem {
@@ -194,6 +199,17 @@ impl MemSystem {
     ///
     /// Panics if the configuration is invalid.
     pub fn new(cfg: &MachineConfig) -> Self {
+        Self::with_shared(Arc::new(cfg.clone()))
+    }
+
+    /// Like [`MemSystem::new`], but sharing an already-counted
+    /// configuration (the machine hands the same `Arc` to every core and
+    /// to the memory system instead of cloning the config per component).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn with_shared(cfg: Arc<MachineConfig>) -> Self {
         cfg.validate().expect("invalid MachineConfig");
         let (cols, rows) = cfg.mesh_dims();
         let mesh = Mesh::new(cols, rows, cfg.num_cores);
@@ -202,8 +218,10 @@ impl MemSystem {
             .map(|_| CorePort {
                 l1: L1Cache::new(cfg.l1_sets(), cfg.l1_ways, cfg.words_per_line()),
                 bs: BypassSet::new(cfg.bs_entries),
-                mshrs: HashMap::new(),
-                pending_stores: HashMap::new(),
+                // Pre-size past any realistic in-flight count so the
+                // tables never rehash mid-run.
+                mshrs: FxHashMap::with_capacity_and_hasher(64, FxBuildHasher::default()),
+                pending_stores: FxHashMap::with_capacity_and_hasher(64, FxBuildHasher::default()),
                 order_mode: OrderMode::None,
                 wee: None,
                 events: VecDeque::new(),
@@ -227,7 +245,7 @@ impl MemSystem {
         let trace = cfg.record_trace.then(|| TraceSink::new(cfg.fence_design));
         let oracle = cfg.schedule.build_oracle(cfg.perturb);
         MemSystem {
-            cfg: cfg.clone(),
+            cfg,
             ports,
             banks,
             net,
@@ -237,7 +255,64 @@ impl MemSystem {
             perturb_seq: 0,
             oracle,
             trace,
+            scratch: Vec::new(),
         }
+    }
+
+    /// Restores the as-new state for machine reuse under `cfg` (which
+    /// must describe the same hardware shape the system was built with —
+    /// see `MachineConfig::same_machine_shape`). Every container keeps
+    /// its allocation, so a warmed pool machine resets and reruns without
+    /// touching the heap.
+    pub fn reset(&mut self, cfg: Arc<MachineConfig>) {
+        debug_assert!(self.cfg.same_machine_shape(&cfg), "shape must match");
+        self.cfg = cfg;
+        for p in &mut self.ports {
+            p.l1.reset();
+            p.bs.reset();
+            p.mshrs.clear();
+            p.pending_stores.clear();
+            p.order_mode = OrderMode::None;
+            p.wee = None;
+            p.events.clear();
+            p.counters = MemCounters::default();
+        }
+        for b in &mut self.banks {
+            b.reset();
+        }
+        self.net.reset();
+        self.local.clear();
+        self.local_seq = 0;
+        self.next_token = 1;
+        self.perturb_seq = 0;
+        self.oracle = self.cfg.schedule.build_oracle(self.cfg.perturb);
+        self.trace = self.cfg.record_trace.then(|| TraceSink::new(self.cfg.fence_design));
+    }
+
+    /// The earliest future cycle at which the memory system has work to
+    /// do (a scheduled local event or an in-flight message arrival);
+    /// `Cycle::MAX` when nothing is outstanding. Everything due at or
+    /// before the last [`MemSystem::tick`] has already been processed,
+    /// so the machine may jump straight to this cycle.
+    pub fn next_time(&self) -> Cycle {
+        let local = self.local.peek().map_or(Cycle::MAX, |Reverse((t, ..))| *t);
+        let net = self.net.next_arrival().unwrap_or(Cycle::MAX);
+        local.min(net)
+    }
+
+    /// Whether `core` has undelivered completion/notification events.
+    pub fn port_has_events(&self, core: CoreId) -> bool {
+        !self.ports[core.0].events.is_empty()
+    }
+
+    /// Approximate bytes of heap capacity retained across resets (for
+    /// pool telemetry): L1 set arrays and bypass-set entry arrays, the
+    /// dominant per-port retained structures.
+    pub fn retained_bytes(&self) -> usize {
+        self.ports
+            .iter()
+            .map(|p| p.l1.retained_bytes() + p.bs.retained_bytes())
+            .sum()
     }
 
     /// The trace sink, mutably, when `record_trace` is enabled.
@@ -284,6 +359,11 @@ impl MemSystem {
     /// The configuration this memory system was built with.
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// Per-bank counters without collecting (allocation-free harvest).
+    pub fn each_bank_counters(&self) -> impl Iterator<Item = &BankCounters> {
+        self.banks.iter().map(|b| b.counters())
     }
 
     fn line_of(&self, addr: Addr) -> LineAddr {
@@ -512,20 +592,20 @@ impl MemSystem {
     }
 
     fn send_store_request(&mut self, now: Cycle, c: usize, line: LineAddr) {
-        let (line, updates, order, attempt) = {
+        let (line, update, order, attempt) = {
             let ps = self.ports[c].pending_stores.get(&line).expect("pending store");
             let order = match ps.kind {
                 StoreKind::Plain if ps.attempt > 0 => self.ports[c].order_mode,
                 _ => OrderMode::None,
             };
-            let updates = match ps.kind {
-                StoreKind::Plain => vec![WordUpdate {
+            let update = match ps.kind {
+                StoreKind::Plain => Some(WordUpdate {
                     word: ps.word,
                     value: ps.value,
-                }],
-                StoreKind::Rmw(_) => Vec::new(),
+                }),
+                StoreKind::Rmw(_) => None,
             };
-            (ps.line, updates, order, ps.attempt)
+            (ps.line, update, order, ps.attempt)
         };
         let dst = self.home_bank(line);
         self.send(
@@ -535,7 +615,7 @@ impl MemSystem {
             Msg::GetX {
                 core: CoreId(c),
                 line,
-                updates,
+                update,
                 order,
                 attempt,
             },
@@ -840,13 +920,15 @@ impl MemSystem {
             | Msg::GrtRead { .. }
             | Msg::GrtRemove { .. }
             | Msg::Unblock { .. } => {
-                let outs = self.banks[node].handle(msg);
-                for o in outs {
+                let mut outs = std::mem::take(&mut self.scratch);
+                self.banks[node].handle_into(msg, &mut outs);
+                for o in outs.drain(..) {
                     let bytes = msg_bytes(&o.msg, self.cfg.line_bytes);
                     let retry = msg_is_retry(&o.msg);
                     self.net
                         .send(now + o.delay, node, o.dst, bytes, retry, o.msg);
                 }
+                self.scratch = outs;
             }
             Msg::DataS { line, data } => {
                 self.handle_fill(now, node, line, data, L1State::S);

@@ -66,8 +66,75 @@ impl RmwKind {
     }
 }
 
-/// Line data payload (one value per word).
-pub type LineData = Vec<u64>;
+/// Maximum words per line representable by the inline [`LineData`]
+/// payload (the paper's machine uses 4: 32 B lines of 8 B words).
+/// Kept small on purpose: `LineData` is `Copy` and rides inside every
+/// protocol [`Msg`], so its inline array is the dominant per-message
+/// copy cost in the simulation kernel. `MachineConfig::validate`
+/// enforces the same bound.
+pub const MAX_LINE_WORDS: usize = 8;
+
+/// Line data payload (one value per word), stored inline so protocol
+/// messages, cache lines, and the directory's memory image never touch
+/// the heap. Dereferences to a `[u64]` slice of the line's words.
+#[derive(Clone, Copy)]
+pub struct LineData {
+    len: u8,
+    words: [u64; MAX_LINE_WORDS],
+}
+
+impl LineData {
+    /// An all-zero line of `len` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds [`MAX_LINE_WORDS`].
+    pub fn zeroed(len: usize) -> Self {
+        assert!(len <= MAX_LINE_WORDS, "{len} words/line > MAX_LINE_WORDS");
+        LineData {
+            len: len as u8,
+            words: [0; MAX_LINE_WORDS],
+        }
+    }
+
+    /// A line holding a copy of `words`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is longer than [`MAX_LINE_WORDS`].
+    pub fn from_words(words: &[u64]) -> Self {
+        let mut d = Self::zeroed(words.len());
+        d.words[..words.len()].copy_from_slice(words);
+        d
+    }
+}
+
+impl std::ops::Deref for LineData {
+    type Target = [u64];
+    fn deref(&self) -> &[u64] {
+        &self.words[..self.len as usize]
+    }
+}
+
+impl std::ops::DerefMut for LineData {
+    fn deref_mut(&mut self) -> &mut [u64] {
+        &mut self.words[..self.len as usize]
+    }
+}
+
+impl PartialEq for LineData {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for LineData {}
+
+impl std::fmt::Debug for LineData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&self[..], f)
+    }
+}
 
 /// Protocol messages exchanged between L1 controllers and directory banks.
 #[derive(Clone, Debug)]
@@ -86,8 +153,9 @@ pub enum Msg {
         core: CoreId,
         /// Requested line.
         line: LineAddr,
-        /// The words this write will modify.
-        updates: Vec<WordUpdate>,
+        /// The word this write will modify (`None` for an RMW upgrade,
+        /// which applies its operation after the fill).
+        update: Option<WordUpdate>,
         /// Order mode for this attempt.
         order: OrderMode,
         /// Retry attempt number (0 = first try); used for traffic split.
@@ -304,7 +372,7 @@ pub fn msg_bytes(msg: &Msg, line_bytes: u64) -> u64 {
         | Msg::Inv { .. }
         | Msg::FetchDowngrade { .. }
         | Msg::Unblock { .. } => HDR,
-        Msg::GetX { updates, .. } => HDR + 8 * updates.len() as u64,
+        Msg::GetX { update, .. } => HDR + 8 * u64::from(update.is_some()),
         Msg::PutM { .. } => HDR + line_bytes,
         Msg::DataS { .. } | Msg::DataE { .. } | Msg::DataM { .. } | Msg::OrderDone { .. } => {
             HDR + line_bytes
@@ -353,7 +421,7 @@ mod tests {
                 &Msg::GetX {
                     core: c,
                     line,
-                    updates: vec![WordUpdate { word: 0, value: 1 }],
+                    update: Some(WordUpdate { word: 0, value: 1 }),
                     order: OrderMode::None,
                     attempt: 0
                 },
@@ -361,7 +429,16 @@ mod tests {
             ),
             24
         );
-        assert_eq!(msg_bytes(&Msg::DataM { line, data: vec![0; 4] }, 32), 48);
+        assert_eq!(
+            msg_bytes(
+                &Msg::DataM {
+                    line,
+                    data: LineData::zeroed(4)
+                },
+                32
+            ),
+            48
+        );
         assert_eq!(
             msg_bytes(
                 &Msg::InvAck {
@@ -387,11 +464,23 @@ mod tests {
         let gx = |attempt| Msg::GetX {
             core: CoreId(0),
             line,
-            updates: vec![],
+            update: None,
             order: OrderMode::None,
             attempt,
         };
         assert!(!msg_is_retry(&gx(0)));
         assert!(msg_is_retry(&gx(2)));
+    }
+
+    #[test]
+    fn line_data_is_inline_and_slice_like() {
+        let mut d = LineData::from_words(&[1, 2, 3]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[1], 2);
+        d[1] = 9;
+        assert_eq!(&d[..], &[1, 9, 3]);
+        assert_eq!(d, LineData::from_words(&[1, 9, 3]));
+        assert_ne!(d, LineData::zeroed(3));
+        assert_eq!(format!("{:?}", LineData::from_words(&[7])), "[7]");
     }
 }

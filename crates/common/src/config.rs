@@ -315,6 +315,29 @@ impl MachineConfig {
         (cols, rows)
     }
 
+    /// Whether `other` describes the same hardware *shape*: every
+    /// parameter that is baked into constructed machine structures
+    /// (cache geometry, mesh, directory banks, Bypass-Set capacity,
+    /// link timing). Two shape-equal configs may still differ in purely
+    /// dynamic knobs — fence design, seeds, perturbation, schedule plan,
+    /// fence assignment, timeouts, trace/log switches — which a pooled
+    /// machine picks up on reset without rebuilding.
+    pub fn same_machine_shape(&self, other: &MachineConfig) -> bool {
+        self.num_cores == other.num_cores
+            && self.line_bytes == other.line_bytes
+            && self.word_bytes == other.word_bytes
+            && self.l1_bytes == other.l1_bytes
+            && self.l1_ways == other.l1_ways
+            && self.l2_bank_bytes == other.l2_bank_bytes
+            && self.l2_ways == other.l2_ways
+            && self.l2_hit_cycles == other.l2_hit_cycles
+            && self.mem_cycles == other.mem_cycles
+            && self.hop_cycles == other.hop_cycles
+            && self.link_bytes_per_cycle == other.link_bytes_per_cycle
+            && self.dir_interleave_lines == other.dir_interleave_lines
+            && self.bs_entries == other.bs_entries
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -331,8 +354,11 @@ impl MachineConfig {
         if !self.word_bytes.is_power_of_two() || self.word_bytes > self.line_bytes {
             return Err("word_bytes must be a power of two no larger than line_bytes".into());
         }
-        if self.words_per_line() > 32 {
-            return Err("at most 32 words per line (word-mask width)".into());
+        // Mirrors the coherence crate's `MAX_LINE_WORDS`: line payloads
+        // are stored inline in `Copy` protocol messages, so the bound is
+        // deliberately tight to keep per-message copies cheap.
+        if self.words_per_line() > 8 {
+            return Err("at most 8 words per line (inline line-data width)".into());
         }
         if self.issue_width == 0 || self.rob_entries == 0 || self.wb_entries == 0 {
             return Err("issue_width, rob_entries and wb_entries must be nonzero".into());

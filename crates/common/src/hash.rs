@@ -1,0 +1,128 @@
+//! Deterministic, cheap hashing for the simulator's hot maps.
+//!
+//! `std`'s default `HashMap` hasher (SipHash with a per-process random
+//! key) shows up prominently in simulator profiles: the coherence layer
+//! keys MSHRs, pending stores and directory lines by [`LineAddr`]-style
+//! small integers, where SipHash's full 64-bit security margin buys
+//! nothing. [`FxHasher`] is the classic Firefox multiply-xor hash:
+//! one rotate, one xor and one multiply per word, quality enough for
+//! power-of-two-capacity tables keyed by addresses and ids.
+//!
+//! Determinism matters as much as speed here. A random per-process key
+//! means map *iteration order* differs between processes; every map in
+//! the simulator's hot path is keyed lookup only, but a fixed-key hasher
+//! removes the hazard class outright — two runs of the same binary walk
+//! every table identically, which the byte-identical output gates rely
+//! on.
+//!
+//! [`LineAddr`]: crate::ids::Addr
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx multiply constant (golden-ratio derived, as used by rustc).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fixed-key multiply-xor hasher ("Fx hash"). Not DoS-resistant — use
+/// only for maps keyed by simulator-internal values (addresses, ids,
+/// tokens), never attacker-controlled input.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Builds [`FxHasher`]s with the fixed key (every hasher starts equal,
+/// so table layout is a pure function of the inserted keys).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` on the deterministic [`FxHasher`]. Construct with
+/// `FxHashMap::default()`.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` on the deterministic [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_keys_hash_equal_and_distinct_keys_spread() {
+        let h = |n: u64| {
+            let mut x = FxHasher::default();
+            x.write_u64(n);
+            x.finish()
+        };
+        assert_eq!(h(42), h(42), "fixed key: same input, same hash");
+        let hashes: FxHashSet<u64> = (0..1000u64).map(h).collect();
+        assert_eq!(hashes.len(), 1000, "no collisions on small sequential keys");
+    }
+
+    #[test]
+    fn byte_writes_match_padded_words() {
+        // chunks <= 8 bytes are zero-padded into one word; a 1-byte
+        // write must differ from a 2-byte write of the same prefix.
+        let mut a = FxHasher::default();
+        a.write(&[1]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 0]);
+        assert_eq!(a.finish(), b.finish(), "zero padding is part of the scheme");
+    }
+
+    #[test]
+    fn map_behaves_like_std() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        m.insert(9, "nine");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        assert_eq!(m.remove(&9), Some("nine"));
+        assert!(m.remove(&9).is_none());
+    }
+}

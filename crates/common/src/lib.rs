@@ -29,6 +29,7 @@
 
 pub mod assign;
 pub mod config;
+pub mod hash;
 pub mod ids;
 pub mod par;
 pub mod prop;
@@ -50,5 +51,5 @@ pub use schedule::{
 };
 pub use scvlog::{ScvEvent, ScvLog};
 pub use stats::{CoreStats, DerivedStats, MachineStats, StallKind};
-pub use telemetry::{BenchSnapshot, MetricEntry, PhaseTimer, Stopwatch};
+pub use telemetry::{BenchSnapshot, MetricEntry, PhaseTimer, PoolTelemetry, Stopwatch};
 pub use trace::{FenceClass, FenceSpan, FenceTally, TraceEvent, TraceKind, TraceSink};

@@ -25,7 +25,10 @@ pub enum StallKind {
 }
 
 /// Counters for a single core.
-#[derive(Clone, Debug, Default, PartialEq)]
+///
+/// All fields are plain integers, so the struct is `Copy` and a run's
+/// stats harvest is a memcpy rather than a clone.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct CoreStats {
     /// Cycles in which at least one instruction retired.
     pub busy_cycles: u64,
@@ -90,11 +93,18 @@ impl CoreStats {
 
     /// Records one retirement-cycle classification.
     pub fn record_cycle(&mut self, kind: StallKind) {
+        self.record_cycles(kind, 1);
+    }
+
+    /// Records `n` consecutive retirement cycles of the same
+    /// classification — the bulk path the event-driven kernel uses when
+    /// it skips over a provably inactive stretch.
+    pub fn record_cycles(&mut self, kind: StallKind, n: u64) {
         match kind {
-            StallKind::Busy => self.busy_cycles += 1,
-            StallKind::Fence => self.fence_stall_cycles += 1,
-            StallKind::Other => self.other_stall_cycles += 1,
-            StallKind::Idle => self.idle_cycles += 1,
+            StallKind::Busy => self.busy_cycles += n,
+            StallKind::Fence => self.fence_stall_cycles += n,
+            StallKind::Other => self.other_stall_cycles += n,
+            StallKind::Idle => self.idle_cycles += n,
         }
     }
 
@@ -147,7 +157,7 @@ impl AddAssign<&CoreStats> for CoreStats {
 
 /// Network traffic counters, split so Table 4's "% traffic increase due to
 /// retries" can be computed.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct TrafficStats {
     /// Bytes moved by first-attempt protocol messages.
     pub base_bytes: u64,
@@ -202,7 +212,7 @@ impl MachineStats {
             if i < self.cores.len() {
                 self.cores[i] += c;
             } else {
-                self.cores.push(c.clone());
+                self.cores.push(*c);
             }
         }
         self.traffic.base_bytes += other.traffic.base_bytes;

@@ -42,7 +42,9 @@ use crate::stats::DerivedStats;
 use crate::trace::FenceTally;
 
 /// Snapshot schema version; [`diff`] refuses to compare across versions.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version 2 added the [`PoolTelemetry`] block (machine-pool hits,
+/// rebuilds and arena bytes kept alive across resets).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Environment variable zeroing wall-clock/RSS fields at collection time
 /// (`ASF_TELEMETRY_DETERMINISTIC=1`), making snapshot bytes identical at
@@ -724,6 +726,24 @@ fn per_sec(count: u64, wall_ns: u64) -> f64 {
     }
 }
 
+/// Machine-pool effectiveness counters (see the bench crate's pool
+/// module): how often a run re-armed a warmed machine in place instead
+/// of rebuilding its arenas. Harness metadata, not simulation output —
+/// the values depend on how specs land on worker threads, so the
+/// deterministic collection mode masks them to zero exactly like
+/// wall-clock, and [`diff`] never gates on them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolTelemetry {
+    /// Machines handed out by the pool.
+    pub acquires: u64,
+    /// Hand-outs satisfied by an in-place reset (pool hits).
+    pub reuses: u64,
+    /// Hand-outs that (re)built a machine from scratch.
+    pub builds: u64,
+    /// Arena bytes kept alive across in-place resets (estimate).
+    pub bytes_reused: u64,
+}
+
 /// A machine-readable harness-performance snapshot: metadata plus one
 /// [`MetricEntry`] per (section, workload, design) cell. Written as
 /// `BENCH_<label>.json` style files by `--metrics PATH` and compared by
@@ -740,6 +760,8 @@ pub struct BenchSnapshot {
     pub total_wall_ns: u64,
     /// Peak process RSS in bytes (0 in deterministic mode or off-Linux).
     pub peak_rss_bytes: u64,
+    /// Machine-pool counters (all 0 in deterministic mode).
+    pub pool: PoolTelemetry,
     /// Per-phase wall-clock `(phase, ns)` in first-entry order (ns are 0
     /// in deterministic mode).
     pub phases: Vec<(String, u64)>,
@@ -789,6 +811,21 @@ impl BenchSnapshot {
             (
                 "peak_rss_bytes".to_string(),
                 Json::Num(self.peak_rss_bytes as f64),
+            ),
+            (
+                "pool".to_string(),
+                Json::Obj(vec![
+                    (
+                        "acquires".to_string(),
+                        Json::Num(self.pool.acquires as f64),
+                    ),
+                    ("reuses".to_string(), Json::Num(self.pool.reuses as f64)),
+                    ("builds".to_string(), Json::Num(self.pool.builds as f64)),
+                    (
+                        "bytes_reused".to_string(),
+                        Json::Num(self.pool.bytes_reused as f64),
+                    ),
+                ]),
             ),
             (
                 "phases".to_string(),
@@ -845,6 +882,18 @@ impl BenchSnapshot {
             .get("peak_rss_bytes")
             .and_then(Json::as_u64)
             .ok_or("snapshot missing `peak_rss_bytes`".to_string())?;
+        let pool = v.get("pool").ok_or("snapshot missing `pool`".to_string())?;
+        let pool_u = |name: &str| -> Result<u64, String> {
+            pool.get(name)
+                .and_then(Json::as_u64)
+                .ok_or(format!("pool missing `{name}`"))
+        };
+        snap.pool = PoolTelemetry {
+            acquires: pool_u("acquires")?,
+            reuses: pool_u("reuses")?,
+            builds: pool_u("builds")?,
+            bytes_reused: pool_u("bytes_reused")?,
+        };
         for p in v
             .get("phases")
             .and_then(Json::as_arr)
@@ -1089,7 +1138,7 @@ mod tests {
 
     #[test]
     fn snapshot_rejects_schema_drift() {
-        let json = sample_snapshot().to_json().replace("\"schema\": 1", "\"schema\": 999");
+        let json = sample_snapshot().to_json().replace("\"schema\": 2", "\"schema\": 999");
         let err = BenchSnapshot::parse(&json).unwrap_err();
         assert!(err.contains("schema version mismatch"), "{err}");
     }

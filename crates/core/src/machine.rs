@@ -6,6 +6,17 @@
 //! reports and detects global deadlock (which only the deliberately
 //! unprotected `WfOnlyUnsafe` design — or a mis-grouped WS+ program — can
 //! reach).
+//!
+//! The kernel is event-driven: executed cycles run the exact lock-step
+//! `step`, but between steps [`Machine::run`] consults every component's
+//! next-interesting-cycle hint and jumps `now` straight to the earliest
+//! one (`Machine::skip_ahead`), bulk-accounting the skipped stall
+//! cycles. Within a step, cores whose hint says "nothing to do" and
+//! whose event queue is empty skip their tick entirely. Both skips are
+//! exact — a skipped tick is a provable no-op — so schedules, traces,
+//! statistics and oracle draws stay bit-identical to lock-step ticking.
+
+use std::sync::Arc;
 
 use asymfence_coherence::MemSystem;
 use asymfence_common::config::MachineConfig;
@@ -67,7 +78,7 @@ impl ThreadProgram for NullProgram {
 /// assert_eq!(regs.borrow()[&1], 7);
 /// ```
 pub struct Machine {
-    cfg: MachineConfig,
+    cfg: Arc<MachineConfig>,
     mem: MemSystem,
     cores: Vec<Core>,
     threads_added: usize,
@@ -76,6 +87,18 @@ pub struct Machine {
     last_progress_cycle: Cycle,
     last_progress_value: u64,
     deadlocked: bool,
+    /// Per-core cached scheduling hint: the earliest cycle at which
+    /// ticking core `i` could change anything, assuming no memory event
+    /// arrives first (struct-of-arrays — the skip test touches only
+    /// this flat array, not the cores). Refreshed after every executed
+    /// tick; a core's architectural state is frozen between its own
+    /// ticks, so the cached value stays exact until then.
+    wake: Vec<Cycle>,
+    /// Per-core count of cycles skipped since the core's last executed
+    /// tick. Flushed into the core's stall statistics right before the
+    /// next tick (the stall classification is frozen while skippable,
+    /// so the deferred bulk record is exact).
+    skipped: Vec<u64>,
 }
 
 impl Machine {
@@ -85,22 +108,80 @@ impl Machine {
     ///
     /// Panics if the configuration is invalid.
     pub fn new(cfg: &MachineConfig) -> Self {
+        Self::new_shared(Arc::new(cfg.clone()))
+    }
+
+    /// Builds a machine around an already-counted configuration. The
+    /// same `Arc` is handed to the memory system and every core, so the
+    /// config is cloned exactly once per machine, not once per
+    /// component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new_shared(cfg: Arc<MachineConfig>) -> Self {
         cfg.validate().expect("invalid MachineConfig");
-        let mem = MemSystem::new(cfg);
+        let mem = MemSystem::with_shared(Arc::clone(&cfg));
         let cores = (0..cfg.num_cores)
-            .map(|i| Core::new(CoreId(i), cfg, Box::new(NullProgram)))
+            .map(|i| Core::with_shared(CoreId(i), Arc::clone(&cfg), Box::new(NullProgram)))
             .collect();
+        let scv_log = cfg.record_scv_log.then(ScvLog::new);
+        let num_cores = cfg.num_cores;
         Machine {
-            cfg: cfg.clone(),
+            cfg,
             mem,
             cores,
             threads_added: 0,
             now: 0,
-            scv_log: cfg.record_scv_log.then(ScvLog::new),
+            scv_log,
             last_progress_cycle: 0,
             last_progress_value: 0,
             deadlocked: false,
+            wake: vec![0; num_cores],
+            skipped: vec![0; num_cores],
         }
+    }
+
+    /// Re-arms this machine to run under `cfg`, as if freshly built.
+    ///
+    /// When `cfg` keeps the machine shape (see
+    /// `MachineConfig::same_machine_shape`) every container is cleared
+    /// in place and keeps its allocation, so a warmed pool machine
+    /// resets and reruns without touching the heap; otherwise the
+    /// machine is rebuilt from scratch. Returns whether the allocations
+    /// were reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn reset(&mut self, cfg: &Arc<MachineConfig>) -> bool {
+        if !self.cfg.same_machine_shape(cfg) {
+            *self = Machine::new_shared(Arc::clone(cfg));
+            return false;
+        }
+        cfg.validate().expect("invalid MachineConfig");
+        self.cfg = Arc::clone(cfg);
+        self.mem.reset(Arc::clone(cfg));
+        for core in &mut self.cores {
+            core.reset_with(Arc::clone(cfg), Box::new(NullProgram));
+        }
+        self.threads_added = 0;
+        self.now = 0;
+        self.scv_log = cfg.record_scv_log.then(ScvLog::new);
+        self.last_progress_cycle = 0;
+        self.last_progress_value = 0;
+        self.deadlocked = false;
+        self.wake.fill(0);
+        self.skipped.fill(0);
+        true
+    }
+
+    /// Approximate bytes of arena capacity this machine retains across
+    /// resets (ROB/write-buffer slabs and L1 line storage). Telemetry
+    /// only — an estimate of what pooling saves per reuse, not an exact
+    /// heap measurement.
+    pub fn retained_bytes(&self) -> usize {
+        self.mem.retained_bytes() + self.cores.iter().map(Core::retained_bytes).sum::<usize>()
     }
 
     /// The machine's configuration.
@@ -122,7 +203,8 @@ impl Machine {
             self.cfg.num_cores
         );
         let id = CoreId(self.threads_added);
-        self.cores[self.threads_added] = Core::new(id, &self.cfg, program);
+        self.cores[self.threads_added].set_program(program);
+        self.wake[self.threads_added] = self.now;
         self.threads_added += 1;
         id
     }
@@ -154,10 +236,26 @@ impl Machine {
     }
 
     /// Advances one cycle.
+    ///
+    /// Cores whose cached wake hint proves their tick would be a no-op
+    /// (nothing to retire, issue, fetch or account, and no pending
+    /// memory event) skip the tick; every other core runs the exact
+    /// lock-step tick and refreshes its hint. Events can only appear in
+    /// a core's queue during `MemSystem::tick`, so a skip decision
+    /// taken here cannot be invalidated mid-step.
     pub fn step(&mut self) {
         let now = self.now;
-        for core in self.cores.iter_mut() {
-            core.tick(now, &mut self.mem, self.scv_log.as_mut());
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            if self.wake[i] > now && !self.mem.port_has_events(CoreId(i)) {
+                self.skipped[i] += 1;
+            } else {
+                if self.skipped[i] > 0 {
+                    core.account_skipped(self.skipped[i]);
+                    self.skipped[i] = 0;
+                }
+                core.tick(now, &mut self.mem, self.scv_log.as_mut());
+                self.wake[i] = core.next_interesting(now + 1);
+            }
         }
         self.mem.tick(now);
         self.now += 1;
@@ -172,6 +270,44 @@ impl Machine {
         }
     }
 
+    /// Jumps `now` to the next cycle at which anything can happen: the
+    /// earliest memory-system wakeup, the earliest cached core wake
+    /// hint, the watchdog's firing step, or `limit`, whichever comes
+    /// first. Skipped cycles are deferred into the per-core skip
+    /// counters (the stall classification is frozen while a core is
+    /// skippable). Exact: every skipped cycle is a no-op for every
+    /// component, so the machine reaches `next` in the same state
+    /// lock-step ticking would.
+    fn skip_ahead(&mut self, limit: Cycle) {
+        if self.deadlocked || self.is_finished() {
+            return;
+        }
+        // The watchdog declares deadlock in the step where
+        // `now - last_progress_cycle` first exceeds the horizon; that
+        // step must execute, so never jump past it.
+        let deadline = self
+            .last_progress_cycle
+            .saturating_add(self.cfg.watchdog_cycles)
+            .saturating_add(1);
+        let mut next = limit.min(deadline).min(self.mem.next_time());
+        for &w in &self.wake {
+            next = next.min(w);
+        }
+        if next <= self.now {
+            return;
+        }
+        for i in 0..self.cores.len() {
+            if self.mem.port_has_events(CoreId(i)) {
+                return; // a core consumes events next cycle
+            }
+        }
+        let gap = next - self.now;
+        for s in &mut self.skipped {
+            *s += gap;
+        }
+        self.now = next;
+    }
+
     /// Runs until every thread finishes, deadlock is detected, or
     /// `max_cycles` elapse.
     pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
@@ -184,6 +320,7 @@ impl Machine {
                 return RunOutcome::Deadlocked;
             }
             self.step();
+            self.skip_ahead(limit);
         }
         if self.is_finished() {
             RunOutcome::Finished
@@ -231,19 +368,20 @@ impl Machine {
         self.mem.debug_dump()
     }
 
-    /// Merges all statistics into the paper's reporting format.
+    /// Merges all statistics into the paper's reporting format. Per-core
+    /// and traffic counters are plain `Copy` data, so the harvest is a
+    /// flat copy — no per-counter clones.
     pub fn stats(&self) -> MachineStats {
         let mut cores = Vec::with_capacity(self.cfg.num_cores);
-        let banks = self.mem.bank_counters();
         for (i, core) in self.cores.iter().enumerate() {
-            let mut s = core.stats().clone();
+            let mut s = core.stats_with_skips(self.skipped[i]);
             let mc = self.mem.counters(CoreId(i));
             s.l1_hits = mc.l1_hits;
             s.l1_misses = mc.l1_misses;
             s.writes_bounced = mc.writes_bounced;
             s.bounce_retries = mc.bounce_retries;
             s.bs_peak = self.mem.bs_peak(CoreId(i)) as u64;
-            for b in &banks {
+            for b in self.mem.each_bank_counters() {
                 s.order_ops += b.orders[i];
                 s.cond_order_failures += b.co_failures[i];
                 s.cond_order_successes += b.co_successes[i];
@@ -253,7 +391,7 @@ impl Machine {
         MachineStats {
             cycles: self.now,
             cores,
-            traffic: self.mem.traffic().clone(),
+            traffic: *self.mem.traffic(),
             deadlocked: self.deadlocked,
         }
     }

@@ -23,6 +23,7 @@
 //! needed.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use asymfence_coherence::{MemEvent, MemSystem, OrderMode, RmwKind, Token};
 use asymfence_common::assign::SiteStrength;
@@ -124,7 +125,7 @@ struct Checkpoint {
 /// One simulated core executing one [`ThreadProgram`].
 pub struct Core {
     id: CoreId,
-    cfg: MachineConfig,
+    cfg: Arc<MachineConfig>,
     design: FenceDesign,
     program: Box<dyn ThreadProgram>,
     program_done: bool,
@@ -132,15 +133,24 @@ pub struct Core {
 
     rob: VecDeque<RobEntry>,
     wb: VecDeque<WbEntry>,
+    /// Number of write-buffer entries issued to the memory system
+    /// (cached count of `wb` entries with `issued.is_some()`, so the
+    /// per-cycle drain and the scheduling hint never rescan the buffer).
+    wb_inflight: usize,
     instr_seq: u64,
 
     next_store_serial: u64,
     /// All stores with serial <= this have completed (contiguous).
     completed_store_serial: u64,
-    /// Out-of-order completions ahead of the contiguous frontier.
-    completed_ahead: std::collections::BTreeSet<u64>,
+    /// Out-of-order completions ahead of the contiguous frontier (a
+    /// handful of entries at most — kept as a flat list so completions
+    /// never touch the heap once the capacity is warm).
+    completed_ahead: Vec<u64>,
     /// Tokens of in-flight stores that have been bounced (W+ trigger).
-    bounced_inflight: std::collections::HashSet<Token>,
+    bounced_inflight: Vec<Token>,
+    /// Scratch for write-buffer drain candidates, reused across calls so
+    /// issuing a store never allocates.
+    issue_scratch: Vec<usize>,
 
     next_fence_serial: u64,
     last_fence_serial: u64,
@@ -160,20 +170,37 @@ pub struct Core {
 impl Core {
     /// Creates a core running `program` under the machine's fence design.
     pub fn new(id: CoreId, cfg: &MachineConfig, program: Box<dyn ThreadProgram>) -> Self {
+        Self::with_shared(id, Arc::new(cfg.clone()), program)
+    }
+
+    /// Like [`Core::new`], but sharing an already-counted configuration
+    /// (the machine hands one `Arc` to every core instead of cloning the
+    /// config per core).
+    pub fn with_shared(
+        id: CoreId,
+        cfg: Arc<MachineConfig>,
+        program: Box<dyn ThreadProgram>,
+    ) -> Self {
+        let design = cfg.fence_design;
+        let rob = VecDeque::with_capacity(cfg.rob_entries);
+        let wb = VecDeque::with_capacity(cfg.wb_entries);
+        let wb_entries = cfg.wb_entries;
         Core {
             id,
-            cfg: cfg.clone(),
-            design: cfg.fence_design,
+            cfg,
+            design,
             program,
             program_done: false,
             awaiting_tag: None,
-            rob: VecDeque::with_capacity(cfg.rob_entries),
-            wb: VecDeque::with_capacity(cfg.wb_entries),
+            rob,
+            wb,
+            wb_inflight: 0,
             instr_seq: 0,
             next_store_serial: 1,
             completed_store_serial: 0,
-            completed_ahead: std::collections::BTreeSet::new(),
-            bounced_inflight: std::collections::HashSet::new(),
+            completed_ahead: Vec::new(),
+            bounced_inflight: Vec::new(),
+            issue_scratch: Vec::with_capacity(wb_entries),
             next_fence_serial: 1,
             last_fence_serial: 0,
             completed_fence_serial: 0,
@@ -188,14 +215,83 @@ impl Core {
         }
     }
 
+    /// Restores the as-new state for machine reuse under `cfg`, running
+    /// `program`. Every container keeps its allocation, so a pooled
+    /// machine re-arms its cores without touching the heap.
+    pub fn reset_with(&mut self, cfg: Arc<MachineConfig>, program: Box<dyn ThreadProgram>) {
+        self.design = cfg.fence_design;
+        self.cfg = cfg;
+        self.program = program;
+        self.program_done = false;
+        self.awaiting_tag = None;
+        self.rob.clear();
+        self.wb.clear();
+        self.wb_inflight = 0;
+        self.instr_seq = 0;
+        self.next_store_serial = 1;
+        self.completed_store_serial = 0;
+        self.completed_ahead.clear();
+        self.bounced_inflight.clear();
+        self.issue_scratch.clear();
+        self.next_fence_serial = 1;
+        self.last_fence_serial = 0;
+        self.completed_fence_serial = 0;
+        self.active_fences.clear();
+        self.orderable_wfs = 0;
+        self.checkpoints.clear();
+        self.timeout_count = 0;
+        self.head_store_bounced = false;
+        self.bs_bounced_flag = false;
+        self.post_recovery_drain = false;
+        self.stats = CoreStats::default();
+    }
+
+    /// Installs `program` on a freshly built or reset core.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the core has already executed anything.
+    pub fn set_program(&mut self, program: Box<dyn ThreadProgram>) {
+        debug_assert!(
+            self.instr_seq == 0 && self.rob.is_empty(),
+            "programs install only on fresh cores"
+        );
+        self.program = program;
+        self.program_done = false;
+    }
+
     /// This core's identifier.
     pub fn id(&self) -> CoreId {
         self.id
     }
 
+    /// Approximate bytes of heap capacity retained across resets (for
+    /// pool telemetry): the ROB, write buffer, and checkpoint arrays.
+    pub fn retained_bytes(&self) -> usize {
+        self.rob.capacity() * std::mem::size_of::<RobEntry>()
+            + self.wb.capacity() * std::mem::size_of::<WbEntry>()
+            + self.checkpoints.capacity() * std::mem::size_of::<Checkpoint>()
+            + self.completed_ahead.capacity() * std::mem::size_of::<u64>()
+            + self.bounced_inflight.capacity() * std::mem::size_of::<Token>()
+            + self.active_fences.capacity() * std::mem::size_of::<ActiveFence>()
+            + self.issue_scratch.capacity() * std::mem::size_of::<usize>()
+    }
+
     /// Statistics collected so far.
     pub fn stats(&self) -> &CoreStats {
         &self.stats
+    }
+
+    /// Statistics with `pending` not-yet-flushed skipped cycles folded
+    /// in, classified by the core's current (frozen) stall kind. The
+    /// machine defers skip accounting to a per-core counter; this folds
+    /// that counter at harvest time without mutating the core.
+    pub fn stats_with_skips(&self, pending: u64) -> CoreStats {
+        let mut s = self.stats;
+        if pending > 0 {
+            s.record_cycles(self.idle_kind(), pending);
+        }
+        s
     }
 
     /// The program this core runs.
@@ -317,17 +413,26 @@ impl Core {
                         .map(|i| {
                             let w = self.wb[i].clone();
                             self.wb.remove(i);
+                            self.wb_inflight -= 1;
                             w
                         });
                     if let Some(w) = hit {
-                        self.completed_ahead.insert(w.serial);
-                        while self
-                            .completed_ahead
-                            .remove(&(self.completed_store_serial + 1))
-                        {
-                            self.completed_store_serial += 1;
+                        self.completed_ahead.push(w.serial);
+                        loop {
+                            let next = self.completed_store_serial + 1;
+                            let Some(pos) =
+                                self.completed_ahead.iter().position(|&s| s == next)
+                            else {
+                                break;
+                            };
+                            self.completed_ahead.swap_remove(pos);
+                            self.completed_store_serial = next;
                         }
-                        self.bounced_inflight.remove(&token);
+                        if let Some(pos) =
+                            self.bounced_inflight.iter().position(|&t| t == token)
+                        {
+                            self.bounced_inflight.swap_remove(pos);
+                        }
                         self.head_store_bounced = !self.bounced_inflight.is_empty();
                         if let Some(log) = scv.as_deref_mut() {
                             log.record(self.id.0, self.word_addr(w.addr), true, w.seq);
@@ -351,7 +456,9 @@ impl Core {
                 }
                 MemEvent::StoreBounced { token } => {
                     if self.wb.iter().any(|w| w.issued == Some(token)) {
-                        self.bounced_inflight.insert(token);
+                        if !self.bounced_inflight.contains(&token) {
+                            self.bounced_inflight.push(token);
+                        }
                         self.head_store_bounced = true;
                     }
                 }
@@ -792,8 +899,11 @@ impl Core {
     // ------------------------------------------------------------------
 
     fn drain_write_buffer(&mut self, now: Cycle, mem: &mut MemSystem) {
+        if self.wb.is_empty() {
+            return;
+        }
         let width = self.cfg.wb_merge_width;
-        let inflight = self.wb.iter().filter(|w| w.issued.is_some()).count();
+        let inflight = self.wb_inflight;
         if inflight >= width {
             return;
         }
@@ -810,7 +920,8 @@ impl Core {
         let mut slots = width - inflight;
         let id = self.id;
         let line_bytes = self.cfg.line_bytes;
-        let mut issue_list: Vec<usize> = Vec::new();
+        let mut issue_list = std::mem::take(&mut self.issue_scratch);
+        issue_list.clear();
         for (i, w) in self.wb.iter().enumerate() {
             if slots == 0 {
                 break;
@@ -847,11 +958,13 @@ impl Core {
                 break;
             }
         }
-        for i in issue_list {
+        for i in issue_list.drain(..) {
             let (addr, value) = (self.wb[i].addr, self.wb[i].value);
             let token = mem.issue_store(now, id, addr, value);
             self.wb[i].issued = Some(token);
+            self.wb_inflight += 1;
         }
+        self.issue_scratch = issue_list;
     }
 
     // ------------------------------------------------------------------
@@ -912,6 +1025,7 @@ impl Core {
             .map(|f| f.watermark)
             .unwrap_or(self.next_store_serial - 1);
         self.wb.retain(|w| w.serial <= watermark);
+        self.wb_inflight = self.wb.iter().filter(|w| w.issued.is_some()).count();
         self.next_store_serial = watermark + 1;
         self.completed_ahead.retain(|s| *s <= watermark);
         self.bounced_inflight.clear();
@@ -1063,17 +1177,23 @@ impl Core {
     fn account_cycle(&mut self, retired: u64) {
         if retired > 0 {
             self.stats.record_cycle(StallKind::Busy);
-            return;
+        } else {
+            self.stats.record_cycle(self.idle_kind());
         }
+    }
+
+    /// The stall classification an idle (nothing-retired) cycle of this
+    /// core records. Pure, so skipped cycles can be accounted in bulk:
+    /// while a core is skippable its architectural state is frozen, and
+    /// with it this classification.
+    fn idle_kind(&self) -> StallKind {
         if self.is_done() {
-            self.stats.record_cycle(StallKind::Idle);
-            return;
+            return StallKind::Idle;
         }
         if self.post_recovery_drain {
-            self.stats.record_cycle(StallKind::Fence);
-            return;
+            return StallKind::Fence;
         }
-        let kind = match self.rob.front() {
+        match self.rob.front() {
             Some(e) => match &e.kind {
                 RobKind::Load { value: Some(_), forwarded, .. } if !*forwarded => {
                     // Performed load blocked by the retire gate.
@@ -1085,17 +1205,144 @@ impl Core {
                 // the fence designs cannot remove; keep them out of the
                 // fence-stall bucket the paper's figures break down.
                 RobKind::Rmw { .. } => StallKind::Other,
-                RobKind::Fence { kind, .. } => match kind {
-                    HwFence::Strong => StallKind::Fence,
-                    _ => StallKind::Fence, // Wee demotion stall
-                },
+                // Strong-fence drain or Wee demotion stall.
+                RobKind::Fence { .. } => StallKind::Fence,
                 // A Compute dispatched this very cycle (retirement ran
                 // before fetch): nothing retired yet.
                 RobKind::Compute { .. } => StallKind::Other,
             },
             None => StallKind::Other, // fetch-starved or draining
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event-driven scheduling hints
+    // ------------------------------------------------------------------
+
+    /// The earliest cycle at or after `now` at which ticking this core
+    /// could change anything — retire, issue, fetch, or complete a fence
+    /// — assuming no memory event is pending for it and none arrives in
+    /// the meantime. `Cycle::MAX` means "only a memory event can wake
+    /// this core". The hint is recomputed from live architectural state
+    /// on every query (nothing is cached), and it is exact: a tick at
+    /// any cycle strictly before the returned value, with an empty event
+    /// queue, is a no-op.
+    pub fn next_interesting(&self, now: Cycle) -> Cycle {
+        if self.is_done() {
+            return Cycle::MAX;
+        }
+        // Incomplete fences. W+ consumes the Bypass-Set bounce flag and
+        // runs its deadlock-suspicion timeout every cycle while a fence
+        // is active — never skip it. For the other designs an active
+        // fence changes state only when a pre-fence store completes,
+        // and store completions are port events (which force a tick);
+        // completion already due means the very next tick acts.
+        if !self.active_fences.is_empty() {
+            if self.design == FenceDesign::WPlus {
+                return now;
+            }
+            if self.completed_store_serial >= self.active_fences[0].watermark {
+                return now;
+            }
+        }
+        if self.post_recovery_drain {
+            return if self.wb.is_empty() {
+                now // the drain flag clears this cycle
+            } else {
+                self.wb_wake(now)
+            };
+        }
+        // Fetch/dispatch can make progress this cycle.
+        if !self.program_done
+            && self.awaiting_tag.is_none()
+            && self.rob.len() < self.cfg.rob_entries
+        {
+            return now;
+        }
+        let head_wake = match self.rob.front().map(|e| &e.kind) {
+            None => Cycle::MAX,
+            Some(RobKind::Load { value: Some(_), .. }) => now,
+            Some(RobKind::Load { value: None, .. }) => Cycle::MAX, // LoadDone event
+            Some(RobKind::Store { .. }) => {
+                if self.wb.len() < self.cfg.wb_entries {
+                    now
+                } else {
+                    Cycle::MAX // a StoreDone event frees an entry
+                }
+            }
+            Some(RobKind::Rmw { token: None, .. }) => {
+                if self.wb.is_empty() {
+                    now // ready to issue
+                } else {
+                    Cycle::MAX // write buffer drains via events / wb_wake
+                }
+            }
+            Some(RobKind::Rmw { result: Some(_), .. }) => now,
+            Some(RobKind::Rmw { .. }) => Cycle::MAX, // RmwDone event
+            Some(RobKind::Fence {
+                kind: HwFence::Strong,
+                ..
+            }) => {
+                if self.wb.is_empty() {
+                    now
+                } else {
+                    Cycle::MAX // drains via events / wb_wake
+                }
+            }
+            Some(RobKind::Fence { .. }) => now,
+            Some(RobKind::Compute { .. }) => now,
         };
-        self.stats.record_cycle(kind);
+        head_wake.min(self.wb_wake(now))
+    }
+
+    /// The earliest cycle a write-buffer drain attempt could issue a
+    /// store, considering only timer state (the schedule oracle's
+    /// per-store `ready_at` stalls). Entries blocked on in-flight
+    /// transactions wake via memory events instead; an unissued entry
+    /// already past its timer wakes `now` (the drain must run to
+    /// re-evaluate line conflicts).
+    fn wb_wake(&self, now: Cycle) -> Cycle {
+        if self.wb.is_empty() {
+            return Cycle::MAX;
+        }
+        let width = self.cfg.wb_merge_width;
+        if self.wb_inflight >= width {
+            return Cycle::MAX; // a StoreDone event frees the slot
+        }
+        // Mirror the drain's fence gate: stores younger than the oldest
+        // incomplete fence's watermark cannot issue until that fence
+        // completes, and completion rides on a port event.
+        let bound = self
+            .active_fences
+            .first()
+            .map(|f| f.watermark)
+            .unwrap_or(u64::MAX);
+        let mut wake = Cycle::MAX;
+        for w in &self.wb {
+            if w.issued.is_some() {
+                continue;
+            }
+            if w.serial > bound {
+                break; // the drain stops here too
+            }
+            wake = wake.min(w.ready_at.max(now));
+            if width == 1 {
+                break; // TSO: only the oldest unissued entry can issue
+            }
+        }
+        wake
+    }
+
+    /// Whether a tick at `now` with no pending memory events would be a
+    /// provable no-op for this core.
+    pub fn tick_is_noop(&self, now: Cycle) -> bool {
+        self.next_interesting(now) > now
+    }
+
+    /// Accounts `n` skipped no-op cycles in one bulk record (exact: the
+    /// stall classification is frozen while the core is skippable).
+    pub fn account_skipped(&mut self, n: u64) {
+        self.stats.record_cycles(self.idle_kind(), n);
     }
 }
 

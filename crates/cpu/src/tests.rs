@@ -372,7 +372,7 @@ fn deterministic_across_runs() {
         assert!(done);
         cores
             .iter()
-            .map(|c| (c.stats().clone(),))
+            .map(|c| (*c.stats(),))
             .collect::<Vec<_>>()
     };
     let (p1, _, _) = crossed_wf_programs();

@@ -32,8 +32,9 @@
 //! ```
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
+use asymfence_common::hash::FxHashMap;
 use asymfence_common::ids::Cycle;
 use asymfence_common::stats::TrafficStats;
 
@@ -91,12 +92,20 @@ impl Mesh {
     /// Each link is identified by `(from_tile, direction)` flattened into a
     /// dense index; see [`Mesh::link_count`].
     pub fn route(&self, src: usize, dst: usize) -> Vec<usize> {
+        let mut links = Vec::with_capacity(self.hops(src, dst) as usize);
+        self.walk_route(src, dst, |l| links.push(l));
+        links
+    }
+
+    /// Visits the directed links of the XY route from `src` to `dst` in
+    /// order without materializing the route — the injection hot path
+    /// walks links through this, so sending never allocates.
+    pub fn walk_route(&self, src: usize, dst: usize, mut f: impl FnMut(usize)) {
         let (mut x, mut y) = self.coords(src);
         let (dx, dy) = self.coords(dst);
-        let mut links = Vec::with_capacity(self.hops(src, dst) as usize);
         while x != dx {
             let dir = if dx > x { Dir::East } else { Dir::West };
-            links.push(self.link_index(x, y, dir));
+            f(self.link_index(x, y, dir));
             if dx > x {
                 x += 1;
             } else {
@@ -105,14 +114,13 @@ impl Mesh {
         }
         while y != dy {
             let dir = if dy > y { Dir::South } else { Dir::North };
-            links.push(self.link_index(x, y, dir));
+            f(self.link_index(x, y, dir));
             if dy > y {
                 y += 1;
             } else {
                 y -= 1;
             }
         }
-        links
     }
 
     /// Total number of directed links modelled (4 per tile; edge links are
@@ -176,7 +184,7 @@ pub struct Network<M> {
     /// Latest arrival scheduled per (src, dst) pair. Injected delays
     /// ([`Network::send_delayed`]) are clamped against this so the
     /// point-to-point FIFO property survives arbitrary jitter.
-    pair_floor: HashMap<(usize, usize), Cycle>,
+    pair_floor: FxHashMap<(usize, usize), Cycle>,
 }
 
 impl<M> Network<M> {
@@ -196,7 +204,7 @@ impl<M> Network<M> {
             in_flight: BinaryHeap::new(),
             seq: 0,
             traffic: TrafficStats::default(),
-            pair_floor: HashMap::new(),
+            pair_floor: FxHashMap::default(),
         }
     }
 
@@ -235,15 +243,18 @@ impl<M> Network<M> {
     ) {
         let ser = bytes.div_ceil(self.link_bytes_per_cycle).max(1);
         let mut t = now;
-        let route = self.mesh.route(src, dst);
-        let weighted_bytes = bytes * (route.len() as u64).max(1);
-        if route.is_empty() {
+        let mesh = self.mesh;
+        let hops = mesh.hops(src, dst);
+        let weighted_bytes = bytes * hops.max(1);
+        if hops == 0 {
             t += 1; // local switch traversal
-        }
-        for link in route {
-            let start = t.max(self.link_busy[link]);
-            self.link_busy[link] = start + ser;
-            t = start + self.hop_cycles;
+        } else {
+            let hop_cycles = self.hop_cycles;
+            mesh.walk_route(src, dst, |link| {
+                let start = t.max(self.link_busy[link]);
+                self.link_busy[link] = start + ser;
+                t = start + hop_cycles;
+            });
         }
         t += extra;
         // FIFO clamp: never arrive before an earlier same-pair message.
@@ -293,6 +304,16 @@ impl<M> Network<M> {
     /// Traffic counters accumulated so far.
     pub fn traffic(&self) -> &TrafficStats {
         &self.traffic
+    }
+
+    /// Restores the as-new state for machine reuse, keeping the link
+    /// table, heap, and pair-floor allocations.
+    pub fn reset(&mut self) {
+        self.link_busy.fill(0);
+        self.in_flight.clear();
+        self.seq = 0;
+        self.traffic = TrafficStats::default();
+        self.pair_floor.clear();
     }
 }
 

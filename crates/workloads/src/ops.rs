@@ -18,7 +18,9 @@
 //! the state. Everything is `Clone`, so W+ checkpoints work by cloning
 //! the whole program.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use asymfence_common::hash::FxHashMap;
 
 use asymfence::prelude::{Addr, Fetch, FenceRole, FenceSite, Instr, RmwKind};
 
@@ -30,7 +32,7 @@ pub type Tag = u64;
 pub struct Ops {
     queue: VecDeque<Instr>,
     waiting: Option<Tag>,
-    values: HashMap<Tag, u64>,
+    values: FxHashMap<Tag, u64>,
     next_tag: Tag,
 }
 
