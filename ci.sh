@@ -113,6 +113,28 @@ if [ "$QUICK" != "quick" ]; then
   grep -q "VIOLATION" "$EXH/allweak.txt"
 fi
 
+echo "== native runtime (litmus hammer + native_bench smoke) =="
+# The native asymmetric-fence runtime must hold SC on real threads under
+# hard hammering, on whichever backend the kernel offers AND on the
+# portable seqcst fallback (ASF_NATIVE_BACKEND=fallback forces it, so
+# the stage also passes in containers without membarrier). native_bench
+# prints the probed backend and self-checks every kernel.
+if [ "$QUICK" != "quick" ]; then
+  ASF_NATIVE_ITERS=40000 cargo test -q --offline --test native_litmus
+  ASF_NATIVE_ITERS=40000 ASF_NATIVE_BACKEND=fallback \
+    cargo test -q --offline --test native_litmus
+  NATIVE="$(mktemp -d)"
+  trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}" "${EXH:-}" "${NATIVE:-}"' EXIT
+  target/release/native_bench --quick --crossval \
+    --metrics "$NATIVE/native.json" | tee "$NATIVE/stdout.txt"
+  grep -q "^backend: " "$NATIVE/stdout.txt"
+  grep -q "sim-vs-silicon" "$NATIVE/stdout.txt"
+  # The fallback path must probe, print, and self-check cleanly too.
+  ASF_NATIVE_BACKEND=fallback target/release/native_bench --quick \
+    > "$NATIVE/fallback.txt"
+  grep -q "^backend: seqcst-fallback" "$NATIVE/fallback.txt"
+fi
+
 echo "== explorer smoke sweep =="
 # Known-bad must be caught (exit 1 from the sweep is the expected result)...
 if cargo run -q --release --offline -p asymfence-explore --bin explore -- \

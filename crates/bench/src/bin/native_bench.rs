@@ -1,0 +1,12 @@
+//! Native asymmetric-fence benchmark with sim-vs-silicon crossval.
+//!
+//! Thin wrapper over [`asymfence_bench::native`]: runs the native
+//! kernel grid under every fence pair, prints the measured table, and
+//! with `--crossval` joins the native ranking against the simulator's.
+
+use asymfence_bench::native;
+
+fn main() {
+    let opts = native::parse_native_args();
+    std::process::exit(native::main_impl(&opts));
+}

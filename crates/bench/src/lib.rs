@@ -28,6 +28,7 @@
 //! | `litmus_matrix` | Figures 1/3/4 scenarios under every design |
 //! | `ablations` | extension sweeps (BS size, timeout, backoff, mesh) |
 //! | `all_experiments` | everything above, in sequence |
+//! | `native_bench` | real-hardware kernels + sim-vs-silicon crossval ([`native`]) |
 
 use asymfence::prelude::*;
 use asymfence_workloads::cilk::CilkApp;
@@ -38,6 +39,7 @@ pub mod cli;
 pub mod figures;
 pub mod metrics;
 pub mod micro;
+pub mod native;
 pub mod pool;
 pub mod report;
 pub mod runner;

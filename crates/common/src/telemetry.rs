@@ -43,7 +43,11 @@ use crate::trace::FenceTally;
 
 /// Snapshot schema version; [`diff`] refuses to compare across versions.
 /// Version 2 added the [`PoolTelemetry`] block (machine-pool hits,
-/// rebuilds and arena bytes kept alive across resets).
+/// rebuilds and arena bytes kept alive across resets). Still within
+/// version 2, native-runtime snapshots additively carry a snapshot-level
+/// `backend` string and per-entry `ops`/`ns_per_op` fields — all three
+/// are omitted from simulator snapshots (so their bytes are unchanged)
+/// and parse as absent-tolerant optionals.
 pub const SCHEMA_VERSION: u64 = 2;
 
 /// Environment variable zeroing wall-clock/RSS fields at collection time
@@ -546,6 +550,13 @@ pub struct MetricEntry {
     pub task_wall_min_ns: u64,
     /// Slowest single run, ns (0 in deterministic mode).
     pub task_wall_max_ns: u64,
+    /// Native protocol operations (native-runtime cells only; 0 and
+    /// omitted from the JSON for simulator cells).
+    pub ops: u64,
+    /// Mean wall-clock per native operation (native-runtime cells only;
+    /// 0 and omitted from the JSON for simulator cells, masked to 0 in
+    /// deterministic mode).
+    pub ns_per_op: f64,
     /// The full derived-ratio block ([`DerivedStats`]).
     pub derived: DerivedStats,
     /// Per-class fence-latency summaries (classes with issued fences).
@@ -619,6 +630,12 @@ impl MetricEntry {
             ),
             ("runs_per_sec".to_string(), Json::Num(self.runs_per_sec())),
         ];
+        // Native-runtime cells only: omitted entirely for simulator
+        // cells so existing v2 snapshots stay byte-identical.
+        if self.ops > 0 {
+            fields.push(("ops".to_string(), Json::Num(self.ops as f64)));
+            fields.push(("ns_per_op".to_string(), Json::Num(self.ns_per_op)));
+        }
         let derived: Vec<(String, Json)> = self
             .derived
             .fields()
@@ -671,6 +688,9 @@ impl MetricEntry {
         e.wall_ns = u64_field("wall_ns")?;
         e.task_wall_min_ns = u64_field("task_wall_min_ns")?;
         e.task_wall_max_ns = u64_field("task_wall_max_ns")?;
+        // Optional (additive in v2): present only on native-runtime cells.
+        e.ops = v.get("ops").and_then(Json::as_u64).unwrap_or(0);
+        e.ns_per_op = v.get("ns_per_op").and_then(Json::as_f64).unwrap_or(0.0);
         let derived = v
             .get("derived")
             .ok_or("entry missing `derived`".to_string())?;
@@ -756,6 +776,9 @@ pub struct BenchSnapshot {
     pub deterministic: bool,
     /// The run used the `--quick` grid.
     pub quick: bool,
+    /// Native fence backend (`native_bench` snapshots only: the
+    /// `FenceBackend` label; `None` and omitted for simulator runs).
+    pub backend: Option<String>,
     /// Total harness wall-clock, ns (0 in deterministic mode).
     pub total_wall_ns: u64,
     /// Peak process RSS in bytes (0 in deterministic mode or off-Linux).
@@ -799,11 +822,18 @@ impl BenchSnapshot {
     /// Serializes the snapshot as pretty-printed JSON. Deterministic:
     /// equal snapshots are equal bytes.
     pub fn to_json(&self) -> String {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("schema".to_string(), Json::Num(SCHEMA_VERSION as f64)),
             ("label".to_string(), Json::Str(self.label.clone())),
             ("deterministic".to_string(), Json::Bool(self.deterministic)),
             ("quick".to_string(), Json::Bool(self.quick)),
+        ];
+        // Additive in v2: only native_bench snapshots carry a backend,
+        // so simulator snapshots stay byte-identical to older builds.
+        if let Some(b) = &self.backend {
+            fields.push(("backend".to_string(), Json::Str(b.clone())));
+        }
+        fields.extend([
             (
                 "total_wall_ns".to_string(),
                 Json::Num(self.total_wall_ns as f64),
@@ -845,8 +875,8 @@ impl BenchSnapshot {
                 "entries".to_string(),
                 Json::Arr(self.entries.iter().map(MetricEntry::to_json).collect()),
             ),
-        ])
-        .render()
+        ]);
+        Json::Obj(fields).render()
     }
 
     /// Parses a snapshot previously written by [`BenchSnapshot::to_json`].
@@ -874,6 +904,10 @@ impl BenchSnapshot {
             .get("quick")
             .and_then(Json::as_bool)
             .ok_or("snapshot missing `quick`".to_string())?;
+        snap.backend = v
+            .get("backend")
+            .and_then(Json::as_str)
+            .map(str::to_string);
         snap.total_wall_ns = v
             .get("total_wall_ns")
             .and_then(Json::as_u64)
@@ -985,6 +1019,7 @@ pub fn diff(base: &BenchSnapshot, new: &BenchSnapshot, opts: &DiffOptions) -> Di
         exact("instrs_retired", e.instrs_retired, n.instrs_retired);
         exact("commits", e.commits, n.commits);
         exact("aborts", e.aborts, n.aborts);
+        exact("ops", e.ops, n.ops);
         for (&(name, a), &(_, b)) in e.derived.fields().iter().zip(n.derived.fields().iter()) {
             if !f64_close(a, b) {
                 r.breaches
@@ -1022,6 +1057,14 @@ pub fn diff(base: &BenchSnapshot, new: &BenchSnapshot, opts: &DiffOptions) -> Di
             }
         }
         wall_delta(&mut r, &key, e.wall_ns, n.wall_ns, opts.wall_tolerance);
+        // Native per-op wall-clock is machine noise like total wall, but
+        // scheduling-sensitive enough that it is never gated.
+        if e.ns_per_op > 0.0 && n.ns_per_op > 0.0 && !f64_close(e.ns_per_op, n.ns_per_op) {
+            r.notes.push(format!(
+                "{key}: ns_per_op {:.1} -> {:.1} (not gated)",
+                e.ns_per_op, n.ns_per_op
+            ));
+        }
     }
     for n in &new.entries {
         if base.entry(&n.section, &n.workload, &n.design).is_none() {
@@ -1038,6 +1081,12 @@ pub fn diff(base: &BenchSnapshot, new: &BenchSnapshot, opts: &DiffOptions) -> Di
         new.total_wall_ns,
         opts.wall_tolerance,
     );
+    if base.backend != new.backend {
+        r.notes.push(format!(
+            "fence backend {:?} -> {:?} (not gated)",
+            base.backend, new.backend
+        ));
+    }
     if base.peak_rss_bytes > 0 && new.peak_rss_bytes > 0 {
         r.notes.push(format!(
             "peak RSS {} -> {} bytes (not gated)",
@@ -1134,6 +1183,37 @@ mod tests {
         let parsed = BenchSnapshot::parse(&json).unwrap();
         assert_eq!(parsed, snap);
         assert_eq!(parsed.to_json(), json, "render -> parse -> render is a fixpoint");
+    }
+
+    #[test]
+    fn native_fields_round_trip_and_stay_out_of_sim_snapshots() {
+        // Simulator snapshots must not grow the optional native keys.
+        let sim = sample_snapshot();
+        let sim_json = sim.to_json();
+        assert!(!sim_json.contains("\"backend\""));
+        assert!(!sim_json.contains("\"ops\""));
+        assert!(!sim_json.contains("\"ns_per_op\""));
+
+        // Native snapshots round-trip them byte-exactly.
+        let mut snap = sample_snapshot();
+        snap.backend = Some("membarrier".to_string());
+        snap.entries[0].ops = 4_000;
+        snap.entries[0].ns_per_op = 37.5;
+        let json = snap.to_json();
+        let parsed = BenchSnapshot::parse(&json).unwrap();
+        assert_eq!(parsed, snap);
+        assert_eq!(parsed.to_json(), json);
+
+        // ops is gated exactly; ns_per_op and backend only produce notes.
+        let mut drifted = snap.clone();
+        drifted.entries[0].ops += 1;
+        drifted.entries[0].ns_per_op = 99.0;
+        drifted.backend = Some("seqcst-fallback".to_string());
+        let r = diff(&snap, &drifted, &DiffOptions::default());
+        assert_eq!(r.breaches.len(), 1, "{:?}", r.breaches);
+        assert!(r.breaches[0].contains("ops"), "{:?}", r.breaches);
+        assert!(r.notes.iter().any(|n| n.contains("ns_per_op")));
+        assert!(r.notes.iter().any(|n| n.contains("backend")));
     }
 
     #[test]

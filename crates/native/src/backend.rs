@@ -1,0 +1,214 @@
+//! Backend probing and the two process-global fences.
+//!
+//! The split mirrors the paper's wf/sf pair: [`light_fence`] is the weak
+//! fence the hot side issues (free at the hardware level), [`heavy_fence`]
+//! is the strong fence the rare side issues, and the heavy side pays
+//! *extra* relative to a conventional fence so the light side can pay
+//! nothing. On Linux the heavy fence is `membarrier(2)` with
+//! `MEMBARRIER_CMD_PRIVATE_EXPEDITED`: the kernel interrupts every other
+//! CPU currently running a thread of this process and executes a full
+//! memory barrier there, which serializes against the light side's
+//! compiler-ordered access pair exactly like an in-ROB strong fence
+//! would. Everywhere else both fences degrade to `fence(SeqCst)`.
+
+use std::sync::atomic::{compiler_fence, fence, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The mechanism backing [`heavy_fence`] in this process, probed once on
+/// first use (see [`backend`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FenceBackend {
+    /// `membarrier(MEMBARRIER_CMD_PRIVATE_EXPEDITED)` is available and the
+    /// process registered for it: [`light_fence`] compiles to nothing
+    /// (compiler fence only) and [`heavy_fence`] issues the syscall.
+    Membarrier,
+    /// Portable fallback: *both* fences are `fence(SeqCst)`. The light
+    /// fence must escalate too — a heavy `fence(SeqCst)` on one thread
+    /// does not order another thread's unfenced accesses, so a
+    /// compiler-only light fence would reintroduce the store→load
+    /// reordering the pair exists to forbid.
+    SeqCstFallback,
+}
+
+impl FenceBackend {
+    /// Stable lowercase label used in reports and metrics files.
+    pub fn label(self) -> &'static str {
+        match self {
+            FenceBackend::Membarrier => "membarrier",
+            FenceBackend::SeqCstFallback => "seqcst-fallback",
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! Raw `membarrier(2)` via the variadic libc `syscall` symbol that
+    //! std already links — the workspace stays zero-external-dep.
+    use std::ffi::{c_int, c_long};
+
+    extern "C" {
+        fn syscall(num: c_long, ...) -> c_long;
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    const NR_MEMBARRIER: c_long = 324;
+    // Every arch on the generic syscall table (aarch64, riscv64, ...).
+    #[cfg(not(target_arch = "x86_64"))]
+    const NR_MEMBARRIER: c_long = 283;
+
+    const MEMBARRIER_CMD_QUERY: c_int = 0;
+    const MEMBARRIER_CMD_PRIVATE_EXPEDITED: c_int = 1 << 3;
+    const MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED: c_int = 1 << 4;
+
+    fn membarrier(cmd: c_int) -> c_long {
+        // flags = 0, cpu_id = 0 (unused without the RSEQ flag).
+        unsafe { syscall(NR_MEMBARRIER, cmd as c_long, 0 as c_long, 0 as c_long) }
+    }
+
+    /// Probes for private-expedited support and registers the process
+    /// for it (registration is required before the first expedited call
+    /// and is idempotent). Returns false when the kernel lacks the
+    /// syscall or the command.
+    pub fn register() -> bool {
+        let supported = membarrier(MEMBARRIER_CMD_QUERY);
+        if supported < 0 {
+            return false; // ENOSYS: pre-4.3 kernel or seccomp-filtered
+        }
+        let need = (MEMBARRIER_CMD_PRIVATE_EXPEDITED | MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED)
+            as c_long;
+        if supported & need != need {
+            return false;
+        }
+        membarrier(MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED) == 0
+    }
+
+    /// One expedited barrier; true on success.
+    pub fn expedited() -> bool {
+        membarrier(MEMBARRIER_CMD_PRIVATE_EXPEDITED) == 0
+    }
+}
+
+static BACKEND: OnceLock<FenceBackend> = OnceLock::new();
+
+fn probe() -> FenceBackend {
+    // `ASF_NATIVE_BACKEND=fallback` forces the portable path so CI can
+    // exercise it even on kernels that do support membarrier.
+    if std::env::var("ASF_NATIVE_BACKEND").is_ok_and(|v| v == "fallback") {
+        return FenceBackend::SeqCstFallback;
+    }
+    #[cfg(target_os = "linux")]
+    if sys::register() {
+        return FenceBackend::Membarrier;
+    }
+    FenceBackend::SeqCstFallback
+}
+
+/// The backend [`light_fence`]/[`heavy_fence`] use, probed (and, for
+/// membarrier, registered) once on first call and cached for the process
+/// lifetime.
+///
+/// ```
+/// use asymfence_native::{backend, FenceBackend};
+/// let b = backend();
+/// assert_eq!(b, backend()); // stable for the whole process
+/// assert!(matches!(b, FenceBackend::Membarrier | FenceBackend::SeqCstFallback));
+/// ```
+pub fn backend() -> FenceBackend {
+    *BACKEND.get_or_init(probe)
+}
+
+/// The weak fence (paper's wf): issued on the *hot* side of an
+/// asymmetric pair.
+///
+/// Under [`FenceBackend::Membarrier`] this is `compiler_fence(SeqCst)` —
+/// zero instructions, it only pins the surrounding accesses in program
+/// order so the peer's [`heavy_fence`] has something to serialize
+/// against. Under [`FenceBackend::SeqCstFallback`] it escalates to a
+/// real `fence(SeqCst)` (see the variant docs for why).
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+/// static FLAG: AtomicUsize = AtomicUsize::new(0);
+/// static SEEN: AtomicUsize = AtomicUsize::new(0);
+/// // Hot side of a store→load (Dekker) pair:
+/// FLAG.store(1, Relaxed);
+/// asymfence_native::light_fence();
+/// let _peer = SEEN.load(Relaxed); // cannot be hoisted above the store
+/// ```
+#[inline]
+pub fn light_fence() {
+    match backend() {
+        FenceBackend::Membarrier => compiler_fence(Ordering::SeqCst),
+        FenceBackend::SeqCstFallback => fence(Ordering::SeqCst),
+    }
+}
+
+/// The strong fence (paper's sf): issued on the *rare* side of an
+/// asymmetric pair.
+///
+/// Under [`FenceBackend::Membarrier`] this performs an expedited
+/// `membarrier(2)`: every CPU running a thread of this process executes
+/// a full barrier before the call returns, so the caller's
+/// store→syscall→load sequence orders against each peer's
+/// compiler-fenced pair without the peer executing a single fence
+/// instruction. Under the fallback it is a plain `fence(SeqCst)`.
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+/// static FLAG: AtomicUsize = AtomicUsize::new(0);
+/// static SEEN: AtomicUsize = AtomicUsize::new(0);
+/// // Rare side of the same Dekker pair:
+/// SEEN.store(1, Relaxed);
+/// asymfence_native::heavy_fence(); // serializes every peer's light pair
+/// let _peer = FLAG.load(Relaxed);
+/// ```
+#[inline]
+pub fn heavy_fence() {
+    match backend() {
+        FenceBackend::Membarrier => {
+            compiler_fence(Ordering::SeqCst);
+            #[cfg(target_os = "linux")]
+            if !sys::expedited() {
+                // Defensive: the probe registered successfully, so this
+                // should be unreachable; degrade rather than mis-order.
+                fence(Ordering::SeqCst);
+            }
+            compiler_fence(Ordering::SeqCst);
+        }
+        FenceBackend::SeqCstFallback => fence(Ordering::SeqCst),
+    }
+}
+
+/// Measures the mean round-trip cost of [`heavy_fence`] in nanoseconds
+/// over `iters` back-to-back calls (plus one warm-up, which also forces
+/// the backend probe). Used by `native_bench` to report the heavy-side
+/// price on the machine at hand.
+pub fn heavy_fence_cost_ns(iters: u32) -> f64 {
+    heavy_fence();
+    let iters = iters.max(1);
+    let start = Instant::now();
+    for _ in 0..iters {
+        heavy_fence();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_is_stable_and_fences_run() {
+        let b = backend();
+        assert_eq!(b, backend());
+        light_fence();
+        heavy_fence();
+        assert!(!b.label().is_empty());
+    }
+
+    #[test]
+    fn heavy_cost_is_positive() {
+        assert!(heavy_fence_cost_ns(16) > 0.0);
+    }
+}

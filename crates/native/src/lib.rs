@@ -1,0 +1,52 @@
+//! Asymmetric-fence runtime for real hardware.
+//!
+//! The rest of the workspace *simulates* the paper's asymmetric fence
+//! designs; this crate *ships* the same heavy/light split as a usable
+//! Rust library. The hot side of a synchronization protocol issues
+//! [`light_fence`] — a compiler fence, zero instructions — and the rare
+//! side issues [`heavy_fence`], backed by
+//! `membarrier(MEMBARRIER_CMD_PRIVATE_EXPEDITED)` on Linux (probed and
+//! registered once, see [`backend`]) and degrading to `fence(SeqCst)`
+//! on both sides anywhere else ([`FenceBackend::SeqCstFallback`]).
+//!
+//! # Design correspondence
+//!
+//! Protocols are parameterized over a [`FencePair`], which assigns a
+//! real fence to each of the two static roles the simulated designs
+//! annotate:
+//!
+//! | pair | critical (hot) site | non-critical (rare) site | simulated design |
+//! |------|---------------------|--------------------------|------------------|
+//! | [`AllHeavy`] | heavy | heavy | S+ (all strong) |
+//! | [`Asymmetric`] | light | heavy | W+ / WS+ (weak hot side) |
+//! | [`HwSeqCst`] | `fence(SeqCst)` | `fence(SeqCst)` | S+ (portable control) |
+//!
+//! Two of the simulator's workloads are ported natively on top of the
+//! pair: the THE work-stealing deque ([`TheDeque`]) and the TLRW STM
+//! ([`TlrwStm`]), plus the mutual-exclusion/litmus kernels
+//! ([`dekker`], [`sb_hammer`], [`mp_hammer`]) used by the
+//! `native_bench` cross-validation harness and the litmus tests.
+//!
+//! ```
+//! use asymfence_native::{backend, Asymmetric, TheDeque};
+//!
+//! println!("heavy fence backed by: {}", backend().label());
+//! let q = TheDeque::new(16, Asymmetric);
+//! q.push(1);
+//! q.push(2);
+//! assert_eq!(q.take(), Some(2)); // owner pays only a compiler fence
+//! assert_eq!(q.steal(), Some(1)); // thief pays the membarrier
+//! ```
+#![deny(missing_docs)]
+
+mod backend;
+mod deque;
+mod kernels;
+mod pair;
+mod stm;
+
+pub use backend::{backend, heavy_fence, heavy_fence_cost_ns, light_fence, FenceBackend};
+pub use deque::TheDeque;
+pub use kernels::{dekker, mp_hammer, sb_hammer, KernelRun};
+pub use pair::{AllHeavy, Asymmetric, FencePair, HwSeqCst, PairKind};
+pub use stm::{Conflict, TlrwStm, Tx};

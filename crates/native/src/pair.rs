@@ -1,0 +1,173 @@
+//! Fence-pair strategies: how a protocol's critical/non-critical fence
+//! sites map onto real fences.
+//!
+//! The simulated designs annotate every static fence site with a role
+//! ([the hot, critical side vs the rare, non-critical
+//! side](crate#design-correspondence)); a [`FencePair`] decides what each
+//! role costs on silicon. Parameterizing the native kernels over the
+//! pair is the hardware analogue of re-running a simulated workload
+//! under a different fence design.
+
+use crate::backend::{heavy_fence, light_fence};
+use std::sync::atomic::{fence, Ordering};
+
+/// A strategy assigning real fences to the two roles of an asymmetric
+/// pair. Implementors are zero-sized markers; the kernels monomorphize
+/// over them so the fence choice inlines into the hot loop.
+///
+/// ```
+/// use asymfence_native::{Asymmetric, FencePair};
+/// use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+///
+/// static FLAG: AtomicUsize = AtomicUsize::new(0);
+/// static PEER: AtomicUsize = AtomicUsize::new(0);
+///
+/// fn hot_side<P: FencePair>(pair: P) -> usize {
+///     FLAG.store(1, Relaxed);
+///     pair.critical(); // wf: free under the membarrier backend
+///     PEER.load(Relaxed)
+/// }
+///
+/// let _ = hot_side(Asymmetric);
+/// ```
+pub trait FencePair: Copy + Send + Sync + 'static {
+    /// Stable lowercase label for reports.
+    fn name(self) -> &'static str;
+    /// The simulated fence design this pair corresponds to (`S+`, `W+`,
+    /// …) for sim-vs-silicon cross-validation.
+    fn sim_design(self) -> &'static str;
+    /// Fence for critical (hot-side) sites — the paper's wf.
+    fn critical(self);
+    /// Fence for non-critical (rare-side) sites — the paper's sf.
+    fn noncritical(self);
+}
+
+/// Every site gets the heavy fence — the silicon analogue of the
+/// all-strong S+ design (every static fence is the strong one of the
+/// pair). Correct everywhere, and the baseline the asymmetric pair must
+/// beat on read/owner-dominated kernels.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllHeavy;
+
+impl FencePair for AllHeavy {
+    fn name(self) -> &'static str {
+        "all-heavy"
+    }
+    fn sim_design(self) -> &'static str {
+        "S+"
+    }
+    fn critical(self) {
+        heavy_fence();
+    }
+    fn noncritical(self) {
+        heavy_fence();
+    }
+}
+
+/// Critical sites get [`light_fence`], non-critical sites get
+/// [`heavy_fence`] — the silicon analogue of the W+/WS+ designs, where
+/// the hot side runs weak fences and the rare side absorbs the ordering
+/// cost. Only sound when every racing access pair is fenced with
+/// matching roles (the same group invariant the simulated designs
+/// enforce per fence group).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Asymmetric;
+
+impl FencePair for Asymmetric {
+    fn name(self) -> &'static str {
+        "asymmetric"
+    }
+    fn sim_design(self) -> &'static str {
+        "W+"
+    }
+    fn critical(self) {
+        light_fence();
+    }
+    fn noncritical(self) {
+        heavy_fence();
+    }
+}
+
+/// Control: every site is a plain hardware `fence(SeqCst)` regardless of
+/// backend — what a portable library without membarrier would ship.
+/// Separates the cost of the membarrier *mechanism* (visible in
+/// [`AllHeavy`]) from the win of the *asymmetry*.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HwSeqCst;
+
+impl FencePair for HwSeqCst {
+    fn name(self) -> &'static str {
+        "seqcst"
+    }
+    fn sim_design(self) -> &'static str {
+        "S+"
+    }
+    fn critical(self) {
+        fence(Ordering::SeqCst);
+    }
+    fn noncritical(self) {
+        fence(Ordering::SeqCst);
+    }
+}
+
+/// Runtime selector over the three built-in pairs, for CLIs and report
+/// loops; dispatch to the monomorphized kernels with a `match`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PairKind {
+    /// [`AllHeavy`].
+    AllHeavy,
+    /// [`Asymmetric`].
+    Asymmetric,
+    /// [`HwSeqCst`].
+    HwSeqCst,
+}
+
+impl PairKind {
+    /// All pairs, in report order.
+    pub const ALL: [PairKind; 3] = [PairKind::AllHeavy, PairKind::Asymmetric, PairKind::HwSeqCst];
+
+    /// The pair's stable label (matches [`FencePair::name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            PairKind::AllHeavy => AllHeavy.name(),
+            PairKind::Asymmetric => Asymmetric.name(),
+            PairKind::HwSeqCst => HwSeqCst.name(),
+        }
+    }
+
+    /// The simulated design label (matches [`FencePair::sim_design`]).
+    pub fn sim_design(self) -> &'static str {
+        match self {
+            PairKind::AllHeavy => AllHeavy.sim_design(),
+            PairKind::Asymmetric => Asymmetric.sim_design(),
+            PairKind::HwSeqCst => HwSeqCst.sim_design(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct_and_fences_run() {
+        let mut seen = Vec::new();
+        for kind in PairKind::ALL {
+            assert!(!seen.contains(&kind.name()));
+            seen.push(kind.name());
+        }
+        AllHeavy.critical();
+        AllHeavy.noncritical();
+        Asymmetric.critical();
+        Asymmetric.noncritical();
+        HwSeqCst.critical();
+        HwSeqCst.noncritical();
+    }
+
+    #[test]
+    fn sim_design_mapping() {
+        assert_eq!(PairKind::Asymmetric.sim_design(), "W+");
+        assert_eq!(PairKind::AllHeavy.sim_design(), "S+");
+        assert_eq!(PairKind::HwSeqCst.sim_design(), "S+");
+    }
+}

@@ -15,6 +15,14 @@
 //!
 //! Transactions are eager-locking, eager-versioning; conflicts abort the
 //! transaction, release its locks, back off and retry.
+//!
+//! **Native port:** `crates/native` ships the same lock protocol on
+//! real threads as `asymfence_native::TlrwStm` (eager locking, lazy
+//! versioning so aborts need no undo log), parameterized over a
+//! `FencePair`: the read barrier issues the pair's critical fence, the
+//! write barrier and commit the non-critical one. `native_bench
+//! --crossval` compares its wall-clock ranking against this simulated
+//! version's cycle ranking.
 
 use asymfence::prelude::{Addr, Fetch, FenceRole, RmwKind, ThreadProgram};
 use asymfence_common::rng::SimRng;

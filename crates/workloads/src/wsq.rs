@@ -11,6 +11,13 @@
 //!
 //! The protocol pieces are written as poll-driven micro state machines
 //! over [`Ops`] so workloads can embed them.
+//!
+//! **Native port:** `crates/native` ships the same protocol on real
+//! threads as `asymfence_native::TheDeque`, parameterized over a
+//! `FencePair` (the owner's fence site maps to the pair's critical
+//! fence, the thief's to the non-critical one); `native_bench
+//! --crossval` compares its wall-clock ranking against this simulated
+//! version's cycle ranking.
 
 use asymfence::prelude::{Addr, FenceRole, FenceSite, RmwKind};
 
