@@ -88,6 +88,24 @@ if [ "$QUICK" != "quick" ]; then
   diff -r "$SYNTH/j1/results" "$SYNTH/j2/results"
 fi
 
+echo "== inference smoke (analyze --quick, jobs=2 == jobs=1, byte-for-byte) =="
+# Whole-program fence inference must be deterministic at any worker
+# count, and the zero-annotation Peterson placement must come out
+# oracle-valid under every searched design.
+if [ "$QUICK" != "quick" ]; then
+  ANA="$(mktemp -d)"
+  trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}" "${EXH:-}" "${ANA:-}"' EXIT
+  for jobs in 1 2; do
+    mkdir -p "$ANA/j$jobs"
+    ( cd "$ANA/j$jobs" && \
+      ASF_PROGRESS=0 "$OLDPWD/target/release/analyze" --quick --jobs $jobs \
+        > stdout.txt )
+  done
+  diff -u "$ANA/j1/stdout.txt" "$ANA/j2/stdout.txt"
+  diff -r "$ANA/j1/results" "$ANA/j2/results"
+  grep -q "placement peterson: oracle-valid" "$ANA/j1/stdout.txt"
+fi
+
 echo "== exhaustive exploration smoke (DPOR, jobs=2 == jobs=1, byte-for-byte) =="
 # The bounded-exhaustive walk over the litmus corpus must be
 # byte-identical at any worker count. The corpus contains known-violating
@@ -95,7 +113,7 @@ echo "== exhaustive exploration smoke (DPOR, jobs=2 == jobs=1, byte-for-byte) ==
 # checks are the diff and the convictions below.
 if [ "$QUICK" != "quick" ]; then
   EXH="$(mktemp -d)"
-  trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}" "${EXH:-}"' EXIT
+  trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}" "${EXH:-}" "${ANA:-}"' EXIT
   for jobs in 1 2; do
     ASF_PROGRESS=0 target/release/explore --scenario corpus --design all \
       --exhaustive --quick --jobs $jobs > "$EXH/j$jobs.txt" || true
@@ -124,7 +142,7 @@ if [ "$QUICK" != "quick" ]; then
   ASF_NATIVE_ITERS=40000 ASF_NATIVE_BACKEND=fallback \
     cargo test -q --offline --test native_litmus
   NATIVE="$(mktemp -d)"
-  trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}" "${EXH:-}" "${NATIVE:-}"' EXIT
+  trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}" "${EXH:-}" "${ANA:-}" "${NATIVE:-}"' EXIT
   target/release/native_bench --quick --crossval \
     --metrics "$NATIVE/native.json" | tee "$NATIVE/stdout.txt"
   grep -q "^backend: " "$NATIVE/stdout.txt"

@@ -1,0 +1,70 @@
+//! `analyze`: infer fence placements for unannotated kernels — recover
+//! footprints under SC, enumerate critical cycles, place the minimal
+//! fences, synthesize per-site wf/sf strengths, and lower the winner to
+//! C11 for the native runtime. No hand annotations consumed anywhere.
+//!
+//! Shares the bench harness flags
+//! (`--jobs/--designs/--filter/--quick/--metrics/--trace`), plus:
+//!
+//! ```text
+//! --exhaustive      validate placements with bounded-exhaustive DPOR
+//!                   exploration instead of the perturbation sweep, so
+//!                   accepted placements are proofs up to the bound
+//! --bound N         reorder bound for --exhaustive (default: 1;
+//!                   implies --exhaustive)
+//! ```
+
+use asymfence_bench::cli;
+use asymfence_bench::metrics::Collector;
+use asymfence_bench::Runner;
+use asymfence_common::telemetry;
+
+fn usage() -> String {
+    format!(
+        "{}\n\
+         \x20 --exhaustive    validate with bounded-exhaustive DPOR exploration\n\
+         \x20                 (accepted placements become proofs up to the bound)\n\
+         \x20 --bound N       reorder bound for --exhaustive (default: 1; implies it;\n\
+         \x20                 bound 2 costs ~50k runs per candidate on large kernels)",
+        cli::usage("analyze")
+    )
+}
+
+fn main() {
+    let mut exhaustive = false;
+    let mut bound: Option<usize> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--exhaustive" => exhaustive = true,
+            "--bound" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => bound = Some(n),
+                None => {
+                    eprintln!("--bound needs a number\n{}", usage());
+                    std::process::exit(2);
+                }
+            },
+            _ => rest.push(a),
+        }
+    }
+    let (jobs, opts) = match cli::parse_args(rest) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            eprintln!("{msg}\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    let mut runner = Runner::new(jobs);
+    if opts.metrics.is_some() {
+        runner = runner.with_collector(std::sync::Arc::new(Collector::new(
+            telemetry::deterministic_from_env(),
+        )));
+    }
+    let exhaustive_bound = (exhaustive || bound.is_some()).then(|| bound.unwrap_or(1));
+    asymfence_analyze::run_cli_with(&runner, &opts, exhaustive_bound);
+}

@@ -29,6 +29,7 @@
 //! | `ablations` | extension sweeps (BS size, timeout, backoff, mesh) |
 //! | `all_experiments` | everything above, in sequence |
 //! | `native_bench` | real-hardware kernels + sim-vs-silicon crossval ([`native`]) |
+//! | `analyze` | whole-program fence inference + C11 lowering (crate `asymfence-analyze`) |
 
 use asymfence::prelude::*;
 use asymfence_workloads::cilk::CilkApp;

@@ -53,6 +53,33 @@ struct EntryAgg {
     aborts: u64,
     stats: MachineStats,
     tallies: [FenceTally; 3],
+    sites_discovered: u64,
+    cycles_enumerated: u64,
+    masks_pruned: u64,
+    oracle_runs: u64,
+}
+
+impl EntryAgg {
+    fn new(section: String, workload: String, design: String) -> Self {
+        EntryAgg {
+            section,
+            workload,
+            design,
+            runs: 0,
+            wall_ns: 0,
+            wall_min_ns: u64::MAX,
+            wall_max_ns: 0,
+            cycles: 0,
+            commits: 0,
+            aborts: 0,
+            stats: MachineStats::default(),
+            tallies: Default::default(),
+            sites_discovered: 0,
+            cycles_enumerated: 0,
+            masks_pruned: 0,
+            oracle_runs: 0,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -115,20 +142,8 @@ impl Collector {
         }) {
             Some(i) => i,
             None => {
-                s.entries.push(EntryAgg {
-                    section,
-                    workload,
-                    design: design.to_string(),
-                    runs: 0,
-                    wall_ns: 0,
-                    wall_min_ns: u64::MAX,
-                    wall_max_ns: 0,
-                    cycles: 0,
-                    commits: 0,
-                    aborts: 0,
-                    stats: MachineStats::default(),
-                    tallies: Default::default(),
-                });
+                s.entries
+                    .push(EntryAgg::new(section, workload, design.to_string()));
                 s.entries.len() - 1
             }
         };
@@ -144,6 +159,42 @@ impl Collector {
         for (i, class) in FenceClass::ALL.iter().enumerate() {
             agg.tallies[i].merge(sink.tally(*class));
         }
+    }
+
+    /// Folds one analyzer pass's counters into the `(current section,
+    /// workload, design)` cell, creating it if no simulation run touched
+    /// it yet. The fields are additive-schema extras on
+    /// [`MetricEntry`]: cells that never see an analyzer pass keep them
+    /// at 0 and their JSON bytes unchanged.
+    pub fn record_analysis(
+        &self,
+        workload: &str,
+        design: &str,
+        sites_discovered: u64,
+        cycles_enumerated: u64,
+        masks_pruned: u64,
+        oracle_runs: u64,
+    ) {
+        let mut s = self.state.lock().unwrap();
+        let section = s.section.clone();
+        let idx = match s.entries.iter().position(|e| {
+            e.section == section && e.workload == workload && e.design == design
+        }) {
+            Some(i) => i,
+            None => {
+                s.entries.push(EntryAgg::new(
+                    section,
+                    workload.to_string(),
+                    design.to_string(),
+                ));
+                s.entries.len() - 1
+            }
+        };
+        let agg = &mut s.entries[idx];
+        agg.sites_discovered += sites_discovered;
+        agg.cycles_enumerated += cycles_enumerated;
+        agg.masks_pruned += masks_pruned;
+        agg.oracle_runs += oracle_runs;
     }
 
     /// Renders everything collected so far as a [`BenchSnapshot`].
@@ -198,6 +249,10 @@ impl Collector {
             };
             e.task_wall_max_ns = agg.wall_max_ns;
             e.derived = agg.stats.derived();
+            e.sites_discovered = agg.sites_discovered;
+            e.cycles_enumerated = agg.cycles_enumerated;
+            e.masks_pruned = agg.masks_pruned;
+            e.oracle_runs = agg.oracle_runs;
             for (i, class) in FenceClass::ALL.iter().enumerate() {
                 if agg.tallies[i].issued > 0 {
                     e.fences
@@ -298,6 +353,28 @@ mod tests {
         assert!(cell.task_wall_min_ns > 0 && cell.task_wall_min_ns <= cell.task_wall_max_ns);
         assert!(snap.total_wall_ns >= cell.wall_ns);
         assert!(cell.sim_cycles_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn analysis_counters_land_in_their_cell_and_only_there() {
+        let c = Collector::new(true);
+        c.begin_section("analyze");
+        c.record_analysis("peterson", "WS+", 2, 3, 5, 40);
+        c.record_analysis("peterson", "WS+", 0, 0, 2, 8); // accumulates
+        c.begin_section("fig");
+        runs(&c, &[RunSpec::ustm(UstmBench::Counter, FenceDesign::SPlus, 2, crate::SEED, 20_000)]);
+
+        let snap = c.snapshot("t", true);
+        let cell = snap.entry("analyze", "peterson", "WS+").unwrap();
+        assert_eq!(cell.sites_discovered, 2);
+        assert_eq!(cell.cycles_enumerated, 3);
+        assert_eq!(cell.masks_pruned, 7);
+        assert_eq!(cell.oracle_runs, 48);
+        // The analyzer fields are additive schema: cells without them
+        // keep them at zero and omit them from the JSON entirely.
+        let sim = snap.entry("fig", "Counter", "S+").unwrap();
+        assert_eq!(sim.sites_discovered, 0);
+        assert!(!snap.to_json().contains("\"sites_discovered\": 0"));
     }
 
     #[test]

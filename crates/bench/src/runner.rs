@@ -29,9 +29,12 @@ use asymfence_common::par;
 use asymfence_common::telemetry::{human_ns, Stopwatch};
 
 use crate::metrics::Collector;
+use asymfence::cpu::insert::FencedProgram;
+use asymfence_common::placement::PlacementSpec;
 use asymfence_workloads::cilk::{self, CilkApp};
 use asymfence_workloads::litmus;
 use asymfence_workloads::sites::SiteBench;
+use asymfence_workloads::unannot::InferredKernel;
 use asymfence_workloads::stamp::{self, StampApp};
 use asymfence_workloads::tlrw;
 use asymfence_workloads::ustm::{self, UstmBench};
@@ -101,6 +104,11 @@ impl LitmusCase {
 }
 
 /// What a [`RunSpec`] simulates.
+// `Inferred` embeds a fixed-capacity `PlacementSpec` (~1.2 KiB) by
+// value: run specs must stay plain `Copy` data so the parallel runner
+// can hand them to workers without allocation, and boxing the spec
+// would forfeit that for every workload.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Workload {
     /// A CilkApp run to completion (Figures 8, 12, Table 4).
@@ -122,6 +130,18 @@ pub enum Workload {
     /// status are *recorded*, never asserted: candidate assignments under
     /// search are allowed to deadlock or violate SC.
     Sites(SiteBench),
+    /// An unannotated kernel executed under an analyzer-inferred fence
+    /// placement: each thread is wrapped in a
+    /// [`FencedProgram`] that
+    /// injects fences at the placement's synthetic sites. Outcome and
+    /// SCV status are recorded, never asserted — candidate placements
+    /// and strength masks under search may fail.
+    Inferred {
+        /// The unannotated kernel.
+        kernel: InferredKernel,
+        /// The window patterns fences are injected at.
+        placement: PlacementSpec,
+    },
 }
 
 impl Workload {
@@ -142,26 +162,50 @@ impl Workload {
                 LitmusCase::Iriw => "iriw".into(),
             },
             Workload::Sites(bench) => bench.name().to_string(),
+            Workload::Inferred { kernel, .. } => format!("infer-{}", kernel.name()),
         }
     }
 }
 
-/// A per-site fence-strength assignment as plain `Copy` data: bit `i` of
-/// `weak` makes site `i` weak (wf), clear bits stay strong (sf). Site ids
-/// are the contiguous `0..n_sites` every synthesis benchmark uses.
+/// A per-site fence-strength assignment as plain `Copy` data: bit `i`
+/// of `weak` makes site `base + i` weak (wf), clear bits stay strong
+/// (sf). Hand-annotated benchmarks number their sites contiguously from
+/// 0 ([`SiteMask::hand`]); analyzer placements use the synthetic id
+/// range ([`SiteMask::synthetic`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SiteMask {
     /// Number of fence sites covered by the mask.
     pub n_sites: u32,
-    /// Bit `i` set ⇒ site `i` resolves to the design's weak fence.
+    /// Bit `i` set ⇒ site `base + i` resolves to the design's weak fence.
     pub weak: u64,
+    /// First site id the mask covers.
+    pub base: u32,
 }
 
 impl SiteMask {
+    /// A mask over the hand-annotated site range `0..n_sites`.
+    pub fn hand(n_sites: u32, weak: u64) -> Self {
+        SiteMask {
+            n_sites,
+            weak,
+            base: 0,
+        }
+    }
+
+    /// A mask over the analyzer's synthetic site range
+    /// (`SYNTHETIC_BASE..SYNTHETIC_BASE + n_sites`).
+    pub fn synthetic(n_sites: u32, weak: u64) -> Self {
+        SiteMask {
+            n_sites,
+            weak,
+            base: asymfence_common::assign::SYNTHETIC_BASE,
+        }
+    }
+
     /// Expands the mask into the [`FenceAssignment`] the machine config
     /// consumes.
     pub fn to_assignment(self) -> FenceAssignment {
-        let sites: Vec<u32> = (0..self.n_sites).collect();
+        let sites: Vec<u32> = (self.base..self.base + self.n_sites).collect();
         FenceAssignment::from_weak_mask(&sites, self.weak)
     }
 }
@@ -292,6 +336,24 @@ impl RunSpec {
         }
     }
 
+    /// An inferred-placement spec: `kernel` built unannotated, fences
+    /// injected per `placement` (core count comes from the kernel).
+    pub fn inferred(
+        kernel: InferredKernel,
+        placement: PlacementSpec,
+        design: FenceDesign,
+        seed: u64,
+    ) -> Self {
+        RunSpec {
+            workload: Workload::Inferred { kernel, placement },
+            design,
+            cores: kernel.cores(),
+            seed,
+            knobs: Knobs::default(),
+            assignment: None,
+        }
+    }
+
     /// Replaces the per-site fence assignment.
     #[must_use]
     pub fn with_assignment(mut self, mask: SiteMask) -> Self {
@@ -333,7 +395,7 @@ impl RunSpec {
         if let Workload::Litmus(_) = self.workload {
             b = b.watchdog_cycles(30_000).record_scv_log(true);
         }
-        if let Workload::Sites(_) = self.workload {
+        if let Workload::Sites(_) | Workload::Inferred { .. } = self.workload {
             b = b.watchdog_cycles(60_000).record_scv_log(true);
         }
         let mut cfg = self.knobs.apply(b).build();
@@ -455,6 +517,29 @@ impl RunSpec {
             Workload::Sites(bench) => {
                 for p in bench.programs(m.config(), self.seed) {
                     m.add_thread(p);
+                }
+                let outcome = m.run(50_000_000);
+                let scv = m.scv_log().map(scv::has_violation).unwrap_or(false);
+                RunResult {
+                    cycles: m.now(),
+                    stats: m.stats(),
+                    commits: 0,
+                    aborts: 0,
+                    outcome,
+                    scv,
+                }
+            }
+            Workload::Inferred { kernel, placement } => {
+                let line_bytes = m.config().line_bytes;
+                let progs = kernel.programs(m.config(), self.seed);
+                for (tid, p) in progs.into_iter().enumerate() {
+                    m.add_thread(Box::new(FencedProgram::new(
+                        p,
+                        tid,
+                        placement,
+                        line_bytes,
+                        FenceRole::NonCritical,
+                    )));
                 }
                 let outcome = m.run(50_000_000);
                 let scv = m.scv_log().map(scv::has_violation).unwrap_or(false);

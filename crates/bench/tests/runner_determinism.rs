@@ -186,7 +186,7 @@ fn explicit_paper_equivalent_assignment_matches_role_mapping() {
     for (bench, n_sites, weak) in [(SiteBench::Wsq, 2, 0b01), (SiteBench::Dekker, 4, 0b0001)] {
         let by_role = RunSpec::sites(bench, FenceDesign::WsPlus, SEED).execute();
         let explicit = RunSpec::sites(bench, FenceDesign::WsPlus, SEED)
-            .with_assignment(SiteMask { n_sites, weak })
+            .with_assignment(SiteMask::hand(n_sites, weak))
             .execute();
         assert_eq!(by_role.cycles, explicit.cycles, "{}", bench.name());
         assert_eq!(by_role.outcome, explicit.outcome, "{}", bench.name());

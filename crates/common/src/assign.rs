@@ -31,6 +31,28 @@ use std::fmt;
 
 use crate::rng::mix64;
 
+/// First site id reserved for *synthetic* fence sites — program points
+/// the analyzer invents when inferring a placement. Hand-annotated
+/// kernels number their sites from 0, so the two ranges never collide
+/// and an assignment can mention both.
+pub const SYNTHETIC_BASE: u32 = 0x8000_0000;
+
+/// The `i`-th synthetic site id ([`SYNTHETIC_BASE`]` + i`).
+///
+/// # Panics
+///
+/// Panics if the id would wrap past `u32::MAX` (which the cpu crate
+/// reserves for anonymous fences).
+pub const fn synthetic_site(i: u32) -> u32 {
+    assert!(i < u32::MAX - SYNTHETIC_BASE, "synthetic site id overflow");
+    SYNTHETIC_BASE + i
+}
+
+/// Whether `site` is in the synthetic (analyzer-placed) range.
+pub const fn is_synthetic(site: u32) -> bool {
+    site >= SYNTHETIC_BASE && site != u32::MAX
+}
+
 /// The hardware strength chosen for one fence site.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum SiteStrength {
@@ -86,6 +108,13 @@ impl FenceAssignment {
     /// Sets (or overwrites) one site's strength.
     pub fn set(&mut self, site: u32, strength: SiteStrength) {
         self.sites.insert(site, strength);
+    }
+
+    /// Upgrades `site` to strong, inserting it if unmentioned. Never
+    /// weakens: a site already strong stays strong. Used by placement
+    /// repair loops that harden one site at a time.
+    pub fn strengthen(&mut self, site: u32) {
+        self.sites.insert(site, SiteStrength::Strong);
     }
 
     /// The strength assigned to `site`, if mentioned.
@@ -221,6 +250,28 @@ mod tests {
         assert_eq!(a.label(), "all-sf");
         assert_eq!(a.weak_count(), 0);
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn synthetic_ids_are_disjoint_from_hand_sites() {
+        assert!(is_synthetic(synthetic_site(0)));
+        assert!(is_synthetic(synthetic_site(15)));
+        assert!(!is_synthetic(0));
+        assert!(!is_synthetic(63));
+        assert!(!is_synthetic(u32::MAX), "anonymous site is not synthetic");
+        assert_eq!(synthetic_site(3), SYNTHETIC_BASE + 3);
+    }
+
+    #[test]
+    fn strengthen_inserts_and_never_weakens() {
+        let mut a = FenceAssignment::from_weak_mask(&[0, 1], 0b01);
+        a.strengthen(0);
+        assert_eq!(a.strength(0), Some(SiteStrength::Strong));
+        a.strengthen(0);
+        assert_eq!(a.strength(0), Some(SiteStrength::Strong));
+        a.strengthen(9);
+        assert_eq!(a.strength(9), Some(SiteStrength::Strong));
+        assert_eq!(a.len(), 3);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! This crate holds the types that every layer of the stack speaks:
 //! addresses and identifiers ([`ids`]), the machine configuration
 //! ([`config`]), per-site fence-strength assignments ([`assign`]),
+//! inferred whole-program fence placements ([`placement`]),
 //! statistics counters ([`stats`]), deterministic
 //! fence-lifecycle tracing ([`trace`]), harness telemetry — wall-clock
 //! timers, metrics snapshots and the `perfdiff` engine ([`telemetry`]) —
@@ -32,6 +33,7 @@ pub mod config;
 pub mod hash;
 pub mod ids;
 pub mod par;
+pub mod placement;
 pub mod prop;
 pub mod queue;
 pub mod rng;
@@ -41,8 +43,9 @@ pub mod stats;
 pub mod telemetry;
 pub mod trace;
 
-pub use assign::{FenceAssignment, SearchStats, SiteStrength};
+pub use assign::{is_synthetic, synthetic_site, FenceAssignment, SearchStats, SiteStrength};
 pub use config::{FenceDesign, MachineConfig, MachineConfigBuilder, Perturbation};
+pub use placement::{PlacedFence, PlacedWindow, Placement, PlacementSpec, MAX_PLACED};
 pub use ids::{Addr, BankId, CoreId, Cycle, LineAddr, WordIdx};
 pub use rng::SimRng;
 pub use schedule::{

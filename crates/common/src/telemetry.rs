@@ -557,6 +557,18 @@ pub struct MetricEntry {
     /// 0 and omitted from the JSON for simulator cells, masked to 0 in
     /// deterministic mode).
     pub ns_per_op: f64,
+    /// Fence sites the analyzer discovered (analyzer cells only; 0 and
+    /// omitted from the JSON elsewhere).
+    pub sites_discovered: u64,
+    /// Critical cycles the analyzer enumerated (analyzer cells only; 0
+    /// and omitted from the JSON elsewhere).
+    pub cycles_enumerated: u64,
+    /// Candidate strength masks pruned before the oracle (analyzer
+    /// cells only; 0 and omitted from the JSON elsewhere).
+    pub masks_pruned: u64,
+    /// Serial-equivalent oracle runs charged (analyzer cells only; 0
+    /// and omitted from the JSON elsewhere).
+    pub oracle_runs: u64,
     /// The full derived-ratio block ([`DerivedStats`]).
     pub derived: DerivedStats,
     /// Per-class fence-latency summaries (classes with issued fences).
@@ -636,6 +648,29 @@ impl MetricEntry {
             fields.push(("ops".to_string(), Json::Num(self.ops as f64)));
             fields.push(("ns_per_op".to_string(), Json::Num(self.ns_per_op)));
         }
+        // Analyzer cells only: same additive-schema rule as `ops`.
+        if self.sites_discovered > 0
+            || self.cycles_enumerated > 0
+            || self.masks_pruned > 0
+            || self.oracle_runs > 0
+        {
+            fields.push((
+                "sites_discovered".to_string(),
+                Json::Num(self.sites_discovered as f64),
+            ));
+            fields.push((
+                "cycles_enumerated".to_string(),
+                Json::Num(self.cycles_enumerated as f64),
+            ));
+            fields.push((
+                "masks_pruned".to_string(),
+                Json::Num(self.masks_pruned as f64),
+            ));
+            fields.push((
+                "oracle_runs".to_string(),
+                Json::Num(self.oracle_runs as f64),
+            ));
+        }
         let derived: Vec<(String, Json)> = self
             .derived
             .fields()
@@ -691,6 +726,17 @@ impl MetricEntry {
         // Optional (additive in v2): present only on native-runtime cells.
         e.ops = v.get("ops").and_then(Json::as_u64).unwrap_or(0);
         e.ns_per_op = v.get("ns_per_op").and_then(Json::as_f64).unwrap_or(0.0);
+        // Optional (additive in v2): present only on analyzer cells.
+        e.sites_discovered = v
+            .get("sites_discovered")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        e.cycles_enumerated = v
+            .get("cycles_enumerated")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        e.masks_pruned = v.get("masks_pruned").and_then(Json::as_u64).unwrap_or(0);
+        e.oracle_runs = v.get("oracle_runs").and_then(Json::as_u64).unwrap_or(0);
         let derived = v
             .get("derived")
             .ok_or("entry missing `derived`".to_string())?;

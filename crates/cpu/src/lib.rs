@@ -35,9 +35,11 @@
 //! ```
 
 pub mod core;
+pub mod insert;
 pub mod program;
 
 pub use crate::core::{Core, HwFence};
+pub use insert::{FencedProgram, StripFences};
 pub use program::{Fetch, FenceRole, Instr, Registers, ScriptProgram, ThreadProgram};
 
 #[cfg(test)]

@@ -66,6 +66,10 @@ impl std::fmt::Display for FenceSite {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.is_anon() {
             write!(f, "s?")
+        } else if asymfence_common::assign::is_synthetic(self.0) {
+            // Analyzer-placed (synthetic) sites print their placement
+            // index, not the raw offset id.
+            write!(f, "p{}", self.0 - asymfence_common::assign::SYNTHETIC_BASE)
         } else {
             write!(f, "s{}", self.0)
         }

@@ -155,6 +155,69 @@ pub fn sb_hammer<P: FencePair>(pair: P, rounds: u64) -> KernelRun {
     }
 }
 
+/// Two-thread Peterson lock, `iters` critical-section entries per
+/// thread — the native twin of the *unannotated* `peterson` kernel the
+/// analyzer infers fences for (there is no hand-annotated simulated
+/// twin; the placement comes out of `asymfence-analyze`). The inferred
+/// WS+ assignment makes thread 0's entry fence the *critical* site and
+/// thread 1's the *non-critical* one, which is how the roles are wired
+/// here. Violations are witnessed inside the critical section.
+///
+/// ```
+/// use asymfence_native::{peterson, Asymmetric};
+/// assert_eq!(peterson(Asymmetric, 50).violations, 0);
+/// ```
+pub fn peterson<P: FencePair>(pair: P, iters: u64) -> KernelRun {
+    struct Shared {
+        flag: [AtomicU32; 2],
+        turn: AtomicU32,
+        owner: AtomicU32,
+    }
+    let s = Shared {
+        flag: [AtomicU32::new(0), AtomicU32::new(0)],
+        turn: AtomicU32::new(0),
+        owner: AtomicU32::new(u32::MAX),
+    };
+    let run = |me: usize| {
+        let other = 1 - me;
+        let mut violations = 0u64;
+        for _ in 0..iters {
+            s.flag[me].store(1, Ordering::Relaxed);
+            s.turn.store(other as u32, Ordering::Relaxed);
+            // The inferred site: between the announce stores and the
+            // flag[other] read that decides entry.
+            if me == 0 {
+                pair.critical();
+            } else {
+                pair.noncritical();
+            }
+            spin_wait(0, || {
+                s.flag[other].load(Ordering::Relaxed) == 0
+                    || s.turn.load(Ordering::Relaxed) != other as u32
+            });
+            // Critical section: we must be alone.
+            s.owner.store(me as u32, Ordering::Relaxed);
+            for _ in 0..8 {
+                if s.owner.load(Ordering::Relaxed) != me as u32 {
+                    violations += 1;
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+            s.flag[me].store(0, Ordering::Release);
+        }
+        violations
+    };
+    let violations = std::thread::scope(|sc| {
+        let t1 = sc.spawn(|| run(1));
+        run(0) + t1.join().unwrap()
+    });
+    KernelRun {
+        ops: 2 * iters,
+        violations,
+    }
+}
+
 /// Message-passing (MP) hammer: the writer publishes `data` then `flag`
 /// with the *non-critical* fence between them; the reader spins on
 /// `flag` and reads `data` after the *critical* fence. Reading a stale
@@ -222,9 +285,17 @@ mod tests {
     }
 
     #[test]
+    fn peterson_excludes_under_every_pair() {
+        assert_eq!(peterson(AllHeavy, 400).violations, 0);
+        assert_eq!(peterson(Asymmetric, 400).violations, 0);
+        assert_eq!(peterson(HwSeqCst, 400).violations, 0);
+    }
+
+    #[test]
     fn ops_accounting() {
         assert_eq!(dekker(HwSeqCst, 10).ops, 20);
         assert_eq!(sb_hammer(HwSeqCst, 10).ops, 10);
         assert_eq!(mp_hammer(HwSeqCst, 10).ops, 10);
+        assert_eq!(peterson(HwSeqCst, 10).ops, 20);
     }
 }

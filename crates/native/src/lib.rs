@@ -47,6 +47,6 @@ mod stm;
 
 pub use backend::{backend, heavy_fence, heavy_fence_cost_ns, light_fence, FenceBackend};
 pub use deque::TheDeque;
-pub use kernels::{dekker, mp_hammer, sb_hammer, KernelRun};
-pub use pair::{AllHeavy, Asymmetric, FencePair, HwSeqCst, PairKind};
+pub use kernels::{dekker, mp_hammer, peterson, sb_hammer, KernelRun};
+pub use pair::{AllHeavy, Asymmetric, C11Fence, C11Pair, FencePair, HwSeqCst, PairKind};
 pub use stm::{Conflict, TlrwStm, Tx};

@@ -9,7 +9,7 @@
 //! under a different fence design.
 
 use crate::backend::{heavy_fence, light_fence};
-use std::sync::atomic::{fence, Ordering};
+use std::sync::atomic::{compiler_fence, fence, Ordering};
 
 /// A strategy assigning real fences to the two roles of an asymmetric
 /// pair. Implementors are zero-sized markers; the kernels monomorphize
@@ -110,6 +110,84 @@ impl FencePair for HwSeqCst {
     }
 }
 
+/// One C11-expressible fence, as named by an inferred-placement
+/// lowering (`asymfence-analyze`'s `C11Lower` labels). This is the
+/// native half of the analyze → lower → run pipeline: the analyzer
+/// decides the strength symbolically, this enum issues it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum C11Fence {
+    /// `atomic_signal_fence(seq_cst)`: compiler-only.
+    Compiler,
+    /// `atomic_thread_fence(seq_cst)`: the portable strong fence.
+    #[default]
+    SeqCst,
+    /// Asymmetric light side ([`light_fence`]).
+    Light,
+    /// Asymmetric heavy side ([`heavy_fence`]).
+    Heavy,
+}
+
+impl C11Fence {
+    /// Parses a lowering label (`compiler`, `seq_cst`, `light`,
+    /// `heavy`) as emitted by the analyzer's C11 lowering.
+    pub fn from_label(label: &str) -> Option<C11Fence> {
+        match label {
+            "compiler" => Some(C11Fence::Compiler),
+            "seq_cst" => Some(C11Fence::SeqCst),
+            "light" => Some(C11Fence::Light),
+            "heavy" => Some(C11Fence::Heavy),
+            _ => None,
+        }
+    }
+
+    /// Issues the fence.
+    #[inline]
+    pub fn issue(self) {
+        match self {
+            C11Fence::Compiler => compiler_fence(Ordering::SeqCst),
+            C11Fence::SeqCst => fence(Ordering::SeqCst),
+            C11Fence::Light => light_fence(),
+            C11Fence::Heavy => heavy_fence(),
+        }
+    }
+}
+
+/// A [`FencePair`] assembled at runtime from an inferred placement's
+/// C11 lowering: the analyzer's synthesized weak site maps to
+/// `critical`, its strong partner to `noncritical`. Unlike the built-in
+/// marker pairs this carries data, so the fence dispatch is a jump
+/// rather than an inlined constant — the price of running a placement
+/// that was *computed*, not hand-written. Deliberately not part of
+/// [`PairKind::ALL`]: the report grid stays the three fixed strategies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct C11Pair {
+    /// Fence for critical (hot-side) sites.
+    pub critical: C11Fence,
+    /// Fence for non-critical (rare-side) sites.
+    pub noncritical: C11Fence,
+}
+
+impl FencePair for C11Pair {
+    fn name(self) -> &'static str {
+        "c11"
+    }
+    fn sim_design(self) -> &'static str {
+        // A light/heavy split is the asymmetric WS+ shape; anything
+        // else degenerates to the all-strong baseline.
+        if self.critical == C11Fence::Light && self.noncritical == C11Fence::Heavy {
+            "WS+"
+        } else {
+            "S+"
+        }
+    }
+    fn critical(self) {
+        self.critical.issue();
+    }
+    fn noncritical(self) {
+        self.noncritical.issue();
+    }
+}
+
 /// Runtime selector over the three built-in pairs, for CLIs and report
 /// loops; dispatch to the monomorphized kernels with a `match`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -169,5 +247,34 @@ mod tests {
         assert_eq!(PairKind::Asymmetric.sim_design(), "W+");
         assert_eq!(PairKind::AllHeavy.sim_design(), "S+");
         assert_eq!(PairKind::HwSeqCst.sim_design(), "S+");
+    }
+
+    #[test]
+    fn c11_labels_round_trip_and_issue() {
+        for (label, f) in [
+            ("compiler", C11Fence::Compiler),
+            ("seq_cst", C11Fence::SeqCst),
+            ("light", C11Fence::Light),
+            ("heavy", C11Fence::Heavy),
+        ] {
+            assert_eq!(C11Fence::from_label(label), Some(f));
+            f.issue();
+        }
+        assert_eq!(C11Fence::from_label("mfence"), None);
+    }
+
+    #[test]
+    fn c11_pair_design_mapping_tracks_asymmetry() {
+        let asym = C11Pair { critical: C11Fence::Light, noncritical: C11Fence::Heavy };
+        assert_eq!(asym.sim_design(), "WS+");
+        let sym = C11Pair { critical: C11Fence::SeqCst, noncritical: C11Fence::SeqCst };
+        assert_eq!(sym.sim_design(), "S+");
+        asym.critical();
+        asym.noncritical();
+    }
+
+    #[test]
+    fn c11_pair_stays_out_of_the_report_grid() {
+        assert!(PairKind::ALL.iter().all(|k| k.name() != C11Pair::default().name()));
     }
 }

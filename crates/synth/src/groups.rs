@@ -24,6 +24,8 @@
 //! weak.
 
 use asymfence::prelude::FenceDesign;
+use asymfence_common::ids::Addr;
+use asymfence_common::placement::PlacedFence;
 use asymfence_workloads::sites::SiteSpec;
 
 /// Two addresses conflict when they fall on the same cache line.
@@ -31,18 +33,55 @@ fn same_line(a: u64, b: u64, line_bytes: u64) -> bool {
     a / line_bytes == b / line_bytes
 }
 
-/// The conflict digraph: `adj[i]` holds every `j` with an edge `i → j`,
-/// meaning a post-fence read of site `i` may observe (or race with) a
-/// pre-fence write of site `j` on another thread.
-pub fn conflict_edges(sites: &[SiteSpec], line_bytes: u64) -> Vec<Vec<usize>> {
+/// The static footprint of one fence site, however it was produced:
+/// hand-annotated [`SiteSpec`]s and analyzer-placed
+/// [`PlacedFence`]s group identically through this lens.
+pub trait Footprint {
+    /// Thread (program index) the fence executes on.
+    fn thread(&self) -> usize;
+    /// Word addresses written before the fence.
+    fn pre_writes(&self) -> &[Addr];
+    /// Word addresses read at/after the fence.
+    fn post_reads(&self) -> &[Addr];
+}
+
+impl Footprint for SiteSpec {
+    fn thread(&self) -> usize {
+        self.thread
+    }
+    fn pre_writes(&self) -> &[Addr] {
+        &self.pre_writes
+    }
+    fn post_reads(&self) -> &[Addr] {
+        &self.post_reads
+    }
+}
+
+impl Footprint for PlacedFence {
+    fn thread(&self) -> usize {
+        self.thread
+    }
+    fn pre_writes(&self) -> &[Addr] {
+        &self.pre_writes
+    }
+    fn post_reads(&self) -> &[Addr] {
+        &self.post_reads
+    }
+}
+
+/// The conflict digraph over arbitrary footprints: `adj[i]` holds every
+/// `j` with an edge `i → j`, meaning a post-fence read of site `i` may
+/// observe (or race with) a pre-fence write of site `j` on another
+/// thread.
+pub fn conflict_edges_of<F: Footprint>(sites: &[F], line_bytes: u64) -> Vec<Vec<usize>> {
     let mut adj = vec![Vec::new(); sites.len()];
     for (i, a) in sites.iter().enumerate() {
         for (j, b) in sites.iter().enumerate() {
-            if a.thread == b.thread {
+            if a.thread() == b.thread() {
                 continue;
             }
-            let hit = a.post_reads.iter().any(|r| {
-                b.pre_writes
+            let hit = a.post_reads().iter().any(|r| {
+                b.pre_writes()
                     .iter()
                     .any(|w| same_line(r.raw(), w.raw(), line_bytes))
             });
@@ -52,6 +91,11 @@ pub fn conflict_edges(sites: &[SiteSpec], line_bytes: u64) -> Vec<Vec<usize>> {
         }
     }
     adj
+}
+
+/// [`conflict_edges_of`] over hand-annotated sites.
+pub fn conflict_edges(sites: &[SiteSpec], line_bytes: u64) -> Vec<Vec<usize>> {
+    conflict_edges_of(sites, line_bytes)
 }
 
 /// Strongly connected components of `adj` (Kosaraju), smallest member
@@ -118,13 +162,19 @@ pub fn sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
     groups
 }
 
-/// Fence groups of the sites: SCCs of the conflict digraph with at least
-/// two members, each sorted ascending, ordered by smallest member.
-pub fn fence_groups(sites: &[SiteSpec], line_bytes: u64) -> Vec<Vec<usize>> {
-    sccs(&conflict_edges(sites, line_bytes))
+/// Fence groups of arbitrary footprints: SCCs of the conflict digraph
+/// with at least two members, each sorted ascending, ordered by
+/// smallest member.
+pub fn fence_groups_of<F: Footprint>(sites: &[F], line_bytes: u64) -> Vec<Vec<usize>> {
+    sccs(&conflict_edges_of(sites, line_bytes))
         .into_iter()
         .filter(|g| g.len() >= 2)
         .collect()
+}
+
+/// [`fence_groups_of`] over hand-annotated sites.
+pub fn fence_groups(sites: &[SiteSpec], line_bytes: u64) -> Vec<Vec<usize>> {
+    fence_groups_of(sites, line_bytes)
 }
 
 /// Checks a weak-site mask against a design's structural constraint.

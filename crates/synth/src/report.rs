@@ -102,6 +102,7 @@ pub fn run_with(
         let sites = bench.sites(&cfg);
         for &design in &designs {
             let r = synth.synthesize(bench, design, trace.as_mut());
+            let paper = r.paper.expect("hand benches carry a paper verdict");
             stats.merge(&r.stats);
             let groups_cell = r
                 .groups
@@ -117,7 +118,7 @@ pub fn run_with(
                 .map(|b| mask_label(&sites, b.mask))
                 .unwrap_or_else(|| "-".into());
             let best_cycles = r.best.map(|b| b.cycles.to_string()).unwrap_or_else(|| "-".into());
-            let delta = match (r.paper.cycles, r.best) {
+            let delta = match (paper.cycles, r.best) {
                 (Some(p), Some(b)) => format!("{:+}", b.cycles as i64 - p as i64),
                 _ => "-".into(),
             };
@@ -126,9 +127,9 @@ pub fn run_with(
                 design.label().to_string(),
                 r.n_sites.to_string(),
                 if groups_cell.is_empty() { "-".into() } else { groups_cell },
-                mask_label(&sites, r.paper.mask),
-                if r.paper.valid { "yes".into() } else { "NO".into() },
-                r.paper
+                mask_label(&sites, paper.mask),
+                if paper.valid { "yes".into() } else { "NO".into() },
+                paper
                     .cycles
                     .map(|c| c.to_string())
                     .unwrap_or_else(|| "-".into()),
@@ -136,7 +137,7 @@ pub fn run_with(
                 best_cycles,
                 delta,
             ]);
-            if let (Some(p), Some(b)) = (r.paper.cycles, r.best) {
+            if let (Some(p), Some(b)) = (paper.cycles, r.best) {
                 if b.cycles < p {
                     faster.push(format!(
                         "{}/{}: {} finishes in {} cycles vs the paper's {} ({} saved)",
@@ -149,12 +150,12 @@ pub fn run_with(
                     ));
                 }
             }
-            if !r.paper.valid {
+            if !paper.valid {
                 rejected.push(format!(
                     "{}/{}: paper annotation {} fails the oracle",
                     bench.name(),
                     design.label(),
-                    mask_label(&sites, r.paper.mask)
+                    mask_label(&sites, paper.mask)
                 ));
             }
         }

@@ -23,17 +23,91 @@
 
 use std::collections::HashMap;
 
-use asymfence::prelude::{FenceDesign, Machine, MachineConfig, RunOutcome, TraceSink};
+use asymfence::cpu::insert::FencedProgram;
+use asymfence::prelude::{FenceDesign, FenceRole, Machine, MachineConfig, RunOutcome, TraceSink};
 use asymfence_bench::{RunSpec, Runner, SiteMask};
 use asymfence_common::assign::SearchStats;
 use asymfence_common::ids::CoreId;
+use asymfence_common::placement::{Placement, PlacementSpec};
 use asymfence_common::schedule::{SchedulePlan, ScheduleScript};
 use asymfence_common::trace::TraceKind;
 use asymfence_common::trace_event;
 use asymfence_explore::{DporConfig, Explorer};
 use asymfence_workloads::sites::SiteBench;
+use asymfence_workloads::unannot::InferredKernel;
 
 use crate::groups;
+
+/// What one search run synthesizes over: a hand-annotated benchmark's
+/// numbered sites, or an analyzer placement's synthetic sites injected
+/// into an unannotated kernel. Both expose the same mask space.
+// The inline `PlacementSpec` keeps the target (and the `RunSpec`s built
+// from it) plain `Copy` data; see `Workload::Inferred` in the runner.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Copy, Debug)]
+enum Target {
+    Hand(SiteBench),
+    Inferred(InferredKernel, PlacementSpec),
+}
+
+impl Target {
+    fn cores(self) -> usize {
+        match self {
+            Target::Hand(b) => b.cores(),
+            Target::Inferred(k, _) => k.cores(),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Target::Hand(b) => b.name(),
+            Target::Inferred(k, _) => k.name(),
+        }
+    }
+
+    /// The candidate mask over this target's site-id range. Hand and
+    /// inferred masks can never alias in the score memo: the assignment
+    /// key hashes the site ids, and the synthetic range is disjoint.
+    fn mask(self, n_sites: u32, weak: u64) -> SiteMask {
+        match self {
+            Target::Hand(_) => SiteMask::hand(n_sites, weak),
+            Target::Inferred(..) => SiteMask::synthetic(n_sites, weak),
+        }
+    }
+
+    /// The scoring spec for one candidate mask.
+    fn spec(self, design: FenceDesign, seed: u64, n_sites: u32, weak: u64) -> RunSpec {
+        let spec = match self {
+            Target::Hand(b) => RunSpec::sites(b, design, seed),
+            Target::Inferred(k, p) => RunSpec::inferred(k, p, design, seed),
+        };
+        spec.with_assignment(self.mask(n_sites, weak))
+    }
+
+    /// Adds the target's threads to an oracle machine.
+    fn add_threads(self, m: &mut Machine, seed: u64) {
+        match self {
+            Target::Hand(b) => {
+                for p in b.programs(m.config(), seed) {
+                    m.add_thread(p);
+                }
+            }
+            Target::Inferred(k, placement) => {
+                let line_bytes = m.config().line_bytes;
+                let progs = k.programs(m.config(), seed);
+                for (tid, p) in progs.into_iter().enumerate() {
+                    m.add_thread(Box::new(FencedProgram::new(
+                        p,
+                        tid,
+                        placement,
+                        line_bytes,
+                        FenceRole::NonCritical,
+                    )));
+                }
+            }
+        }
+    }
+}
 
 /// One oracle-valid, scored candidate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,23 +130,25 @@ pub struct PaperVerdict {
     pub cycles: Option<u64>,
 }
 
-/// The full outcome of synthesizing one (bench, design) pair.
+/// The full outcome of synthesizing one (workload, design) pair.
 #[derive(Clone, Debug)]
 pub struct SynthResult {
-    /// The workload searched.
-    pub bench: SiteBench,
+    /// The workload searched (bench name, or kernel name for inferred
+    /// placements).
+    pub name: &'static str,
     /// The design searched under.
     pub design: FenceDesign,
     /// Number of fence sites (the search space is `2^n_sites`).
     pub n_sites: u32,
-    /// Discovered fence groups, as indices into the bench's site list.
+    /// Discovered fence groups, as indices into the site list.
     pub groups: Vec<Vec<usize>>,
     /// Best valid candidate (min cycles, ties to the smaller mask).
     /// `None` only if every mask failed — which no safe design produces,
     /// since the all-strong mask is always admissible and SC.
     pub best: Option<Candidate>,
-    /// The paper annotation's verdict.
-    pub paper: PaperVerdict,
+    /// The paper annotation's verdict. `None` for inferred placements,
+    /// which have no hand annotation to compare against.
+    pub paper: Option<PaperVerdict>,
     /// Search accounting (serial-equivalent, jobs-independent).
     pub stats: SearchStats,
 }
@@ -82,7 +158,7 @@ impl SynthResult {
     /// paper's (negative = synthesized is slower; `None` when either
     /// side is missing).
     pub fn delta_vs_paper(&self) -> Option<i64> {
-        Some(self.paper.cycles? as i64 - self.best?.cycles as i64)
+        Some(self.paper?.cycles? as i64 - self.best?.cycles as i64)
     }
 }
 
@@ -134,25 +210,23 @@ impl Synthesizer {
     /// per-site assignment installed over the role mapping.
     fn oracle_machine(
         &self,
-        bench: SiteBench,
+        target: Target,
         design: FenceDesign,
         n_sites: u32,
         mask: u64,
         perturb: asymfence::prelude::Perturbation,
     ) -> Machine {
         let mut cfg = MachineConfig::builder()
-            .cores(bench.cores())
+            .cores(target.cores())
             .fence_design(design)
             .seed(self.seed)
             .record_scv_log(true)
             .watchdog_cycles(self.explorer.cfg.watchdog_cycles)
             .perturb(perturb)
             .build();
-        cfg.fence_assignment = Some(SiteMask { n_sites, weak: mask }.to_assignment());
+        cfg.fence_assignment = Some(target.mask(n_sites, mask).to_assignment());
         let mut m = Machine::new(&cfg);
-        for p in bench.programs(&cfg, self.seed) {
-            m.add_thread(p);
-        }
+        target.add_threads(&mut m, self.seed);
         m
     }
 
@@ -161,25 +235,23 @@ impl Synthesizer {
     /// exhaustive validation path hands to the DPOR walk.
     fn oracle_machine_scripted(
         &self,
-        bench: SiteBench,
+        target: Target,
         design: FenceDesign,
         n_sites: u32,
         mask: u64,
         script: ScheduleScript,
     ) -> Machine {
         let mut cfg = MachineConfig::builder()
-            .cores(bench.cores())
+            .cores(target.cores())
             .fence_design(design)
             .seed(self.seed)
             .record_scv_log(true)
             .watchdog_cycles(self.explorer.cfg.watchdog_cycles)
             .schedule(SchedulePlan::Scripted(script))
             .build();
-        cfg.fence_assignment = Some(SiteMask { n_sites, weak: mask }.to_assignment());
+        cfg.fence_assignment = Some(target.mask(n_sites, mask).to_assignment());
         let mut m = Machine::new(&cfg);
-        for p in bench.programs(&cfg, self.seed) {
-            m.add_thread(p);
-        }
+        target.add_threads(&mut m, self.seed);
         m
     }
 
@@ -188,15 +260,15 @@ impl Synthesizer {
     /// `(mask, cycles, finished)` per input mask, in input order.
     fn score(
         &mut self,
-        bench: SiteBench,
+        target: Target,
         design: FenceDesign,
         n_sites: u32,
         masks: &[u64],
         stats: &mut SearchStats,
     ) -> Vec<(u64, u64, bool)> {
         let key = |mask: u64| {
-            let a = SiteMask { n_sites, weak: mask }.to_assignment();
-            (design, bench.name(), a.key())
+            let a = target.mask(n_sites, mask).to_assignment();
+            (design, target.name(), a.key())
         };
         let fresh: Vec<u64> = masks
             .iter()
@@ -206,10 +278,7 @@ impl Synthesizer {
         stats.memo_hits += (masks.len() - fresh.len()) as u64;
         let specs: Vec<RunSpec> = fresh
             .iter()
-            .map(|&m| {
-                RunSpec::sites(bench, design, self.seed)
-                    .with_assignment(SiteMask { n_sites, weak: m })
-            })
+            .map(|&m| target.spec(design, self.seed, n_sites, m))
             .collect();
         let results = self.runner.run(&specs);
         stats.runs += results.len() as u64;
@@ -232,24 +301,20 @@ impl Synthesizer {
             .collect()
     }
 
-    /// Synthesizes the best per-site assignment for one (bench, design)
-    /// pair. `trace` (when given) receives one `SynthReject` /
-    /// `SynthAccept` event per mask, in mask order, with the search step
-    /// as the timestamp and the mask's popcount as the track — emitted
-    /// on the caller's thread, so the trace too is jobs-independent.
-    pub fn synthesize(
+    /// The shared enumerate → prune → validate → score core. Returns the
+    /// oracle survivors, the scored `(mask, cycles, finished)` triples,
+    /// the ranked best, and the charged stats; emits the per-mask trace
+    /// events in mask order on the caller's thread.
+    #[allow(clippy::type_complexity)]
+    fn search_masks(
         &mut self,
-        bench: SiteBench,
+        target: Target,
         design: FenceDesign,
+        n_sites: u32,
+        groups: &[Vec<usize>],
         mut trace: Option<&mut TraceSink>,
-    ) -> SynthResult {
-        let cfg = MachineConfig::builder().cores(bench.cores()).build();
-        let sites = bench.sites(&cfg);
-        let n_sites = sites.len() as u32;
+    ) -> (Vec<u64>, Vec<(u64, u64, bool)>, Option<Candidate>, SearchStats) {
         assert!(n_sites <= 16, "mask enumeration is meant for small kernels");
-        let groups = groups::fence_groups(&sites, cfg.line_bytes);
-        let paper_mask = groups::paper_mask(&sites, design);
-
         let mut stats = SearchStats::default();
         let mut step: u64 = 0;
         let mut rejected: Vec<(u64, &'static str)> = Vec::new();
@@ -259,7 +324,7 @@ impl Synthesizer {
         // order keeps every downstream artifact deterministic).
         for mask in 0..(1u64 << n_sites) {
             stats.enumerated += 1;
-            if let Some(reason) = groups::structural_reject(design, &groups, mask) {
+            if let Some(reason) = groups::structural_reject(design, groups, mask) {
                 stats.pruned += 1;
                 rejected.push((mask, reason));
                 continue;
@@ -267,13 +332,13 @@ impl Synthesizer {
             let (charged, violation) = match &self.exhaustive {
                 Some(dcfg) => {
                     let out = self.explorer.explore_exhaustive_builder(dcfg, |script| {
-                        self.oracle_machine_scripted(bench, design, n_sites, mask, script)
+                        self.oracle_machine_scripted(target, design, n_sites, mask, script)
                     });
                     (out.executed, out.violation.map(|(_, failure)| failure))
                 }
                 None => {
                     let report = self.explorer.sweep_builder(|perturb| {
-                        self.oracle_machine(bench, design, n_sites, mask, perturb)
+                        self.oracle_machine(target, design, n_sites, mask, perturb)
                     });
                     (report.runs, report.violation.map(|(_, failure)| failure))
                 }
@@ -292,7 +357,7 @@ impl Synthesizer {
         }
 
         // Phase 3: score the survivors in one parallel batch.
-        let scored = self.score(bench, design, n_sites, &survivors, &mut stats);
+        let scored = self.score(target, design, n_sites, &survivors, &mut stats);
         let best = scored
             .iter()
             .filter(|&&(_, _, finished)| finished)
@@ -330,6 +395,30 @@ impl Synthesizer {
             }
         }
 
+        (survivors, scored, best, stats)
+    }
+
+    /// Synthesizes the best per-site assignment for one (bench, design)
+    /// pair. `trace` (when given) receives one `SynthReject` /
+    /// `SynthAccept` event per mask, in mask order, with the search step
+    /// as the timestamp and the mask's popcount as the track — emitted
+    /// on the caller's thread, so the trace too is jobs-independent.
+    pub fn synthesize(
+        &mut self,
+        bench: SiteBench,
+        design: FenceDesign,
+        trace: Option<&mut TraceSink>,
+    ) -> SynthResult {
+        let cfg = MachineConfig::builder().cores(bench.cores()).build();
+        let sites = bench.sites(&cfg);
+        let n_sites = sites.len() as u32;
+        let groups = groups::fence_groups(&sites, cfg.line_bytes);
+        let paper_mask = groups::paper_mask(&sites, design);
+
+        let target = Target::Hand(bench);
+        let (survivors, scored, best, stats) =
+            self.search_masks(target, design, n_sites, &groups, trace);
+
         // The paper's own annotation, judged by the same oracle + scorer.
         let paper = if groups::structural_reject(design, &groups, paper_mask).is_some() {
             // Can only happen for a design/annotation mismatch; recorded,
@@ -358,12 +447,45 @@ impl Synthesizer {
         };
 
         SynthResult {
-            bench,
+            name: bench.name(),
             design,
             n_sites,
             groups,
             best,
-            paper,
+            paper: Some(paper),
+            stats,
+        }
+    }
+
+    /// Synthesizes the best per-site strength assignment for an
+    /// analyzer-inferred [`Placement`] over an unannotated kernel. The
+    /// placement's fences become synthetic sites
+    /// ([`SiteMask::synthetic`]); the kernel's programs run wrapped in
+    /// [`FencedProgram`] decorators that inject a fence exactly at each
+    /// placed window, so the oracle and the scorer exercise the same
+    /// machine the analyzer's report describes. No paper verdict: there
+    /// is no hand annotation to compare against.
+    pub fn synthesize_inferred(
+        &mut self,
+        kernel: InferredKernel,
+        placement: &Placement,
+        design: FenceDesign,
+        trace: Option<&mut TraceSink>,
+    ) -> SynthResult {
+        let n_sites = placement.len() as u32;
+        let cfg = MachineConfig::builder().cores(kernel.cores()).build();
+        let groups = groups::fence_groups_of(&placement.fences, cfg.line_bytes);
+
+        let target = Target::Inferred(kernel, placement.spec());
+        let (_, _, best, stats) = self.search_masks(target, design, n_sites, &groups, trace);
+
+        SynthResult {
+            name: kernel.name(),
+            design,
+            n_sites,
+            groups,
+            best,
+            paper: None,
             stats,
         }
     }
@@ -419,8 +541,9 @@ mod tests {
         // WS+ admits masks 00, 01, 10; a weak fence is never slower than
         // the strong one it replaces.
         assert!(best.mask.count_ones() <= 1);
-        assert!(r.paper.valid, "paper annotation must pass the oracle");
-        assert!(best.cycles <= r.paper.cycles.unwrap());
+        let paper = r.paper.expect("hand benches carry a paper verdict");
+        assert!(paper.valid, "paper annotation must pass the oracle");
+        assert!(best.cycles <= paper.cycles.unwrap());
         assert_eq!(r.stats.pruned, 1, "only the all-weak mask is pruned");
     }
 
@@ -466,7 +589,7 @@ mod tests {
         assert_eq!(proven.stats.valid, sampled.stats.valid);
         assert_eq!(proven.stats.oracle_rejected, sampled.stats.oracle_rejected);
         assert_eq!(proven.best.map(|b| b.mask), sampled.best.map(|b| b.mask));
-        assert!(proven.paper.valid);
+        assert!(proven.paper.unwrap().valid);
     }
 
     #[test]

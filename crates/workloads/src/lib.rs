@@ -13,13 +13,16 @@
 //! * [`biased`] — biased locking / lock reservation (paper §4.4).
 //! * [`dcl`] — double-checked locking (paper §4.4).
 //! * [`dekker`] — Dekker's full mutual-exclusion protocol (Figure 1a).
+//! * [`peterson`] — Peterson's lock with **no** fences: the
+//!   whole-program analyzer's acid test.
 //! * [`spsc`] — Lamport's SPSC ring buffer (fence-free under TSO: the
 //!   negative control, and a coherence streaming stress).
 //! * [`litmus`] — the paper's figure-by-figure SCV/deadlock scenarios.
 //!
 //! Shared infrastructure: [`ops`] (micro-op queues for state-machine
-//! programs), [`layout`] (address-space carving), and [`sites`] (static
-//! fence-site footprints for the synthesis engine).
+//! programs), [`layout`] (address-space carving), [`sites`] (static
+//! fence-site footprints for the synthesis engine), and [`unannot`]
+//! (fence-free kernel builders for the whole-program analyzer).
 
 pub mod bakery;
 pub mod biased;
@@ -29,9 +32,11 @@ pub mod dekker;
 pub mod layout;
 pub mod litmus;
 pub mod ops;
+pub mod peterson;
 pub mod sites;
 pub mod spsc;
 pub mod stamp;
 pub mod tlrw;
+pub mod unannot;
 pub mod ustm;
 pub mod wsq;

@@ -134,6 +134,87 @@ fn deque_conserves_tasks_asymmetric() {
     assert_eq!(owner_sum + thief_sum, tasks * (tasks + 1) / 2);
 }
 
+/// Builds a native [`asymfence_native::C11Pair`] by running the whole
+/// inference pipeline on an *unannotated* kernel: recover footprints,
+/// place fences, synthesize WS+ strengths (8-seed oracle), lower to
+/// C11, and parse the per-site labels back into real fences. Thread 0's
+/// site fills the `critical` slot, thread 1's the `noncritical` one —
+/// the same wiring the native kernels use.
+fn analyzer_lowered_pair(
+    kernel: asymfence_workloads::unannot::InferredKernel,
+) -> (asymfence_native::C11Pair, bool) {
+    use asymfence::prelude::FenceDesign;
+    use asymfence_explore::{ExploreConfig, Explorer};
+
+    let a = asymfence_analyze::analyze(kernel, asymfence_bench::SEED);
+    let explorer = Explorer::new(ExploreConfig {
+        seeds: 8,
+        ..Default::default()
+    });
+    let runner = asymfence_bench::Runner::with_jobs(2).progress(false);
+    let mut synth = asymfence_synth::Synthesizer::new(explorer, runner, asymfence_bench::SEED);
+    let r = synth.synthesize_inferred(a.kernel, &a.placement, FenceDesign::WsPlus, None);
+    let best = r.best.expect("inferred placement must be oracle-valid under WS+");
+    let lowering = asymfence_analyze::lower(&a.placement, &r.groups, best.mask);
+
+    let fence_of = |thread: usize| {
+        let i = a
+            .placement
+            .fences
+            .iter()
+            .position(|f| f.thread == thread)
+            .expect("one site per thread");
+        asymfence_native::C11Fence::from_label(lowering.fences[i].lower.label())
+            .expect("lowering labels parse")
+    };
+    (
+        asymfence_native::C11Pair {
+            critical: fence_of(0),
+            noncritical: fence_of(1),
+        },
+        lowering.asymmetric,
+    )
+}
+
+/// The tentpole end-to-end: the analyzer's zero-annotation Peterson
+/// placement, synthesized and lowered to C11, holds mutual exclusion on
+/// real threads. Run under both backends in CI (the default and
+/// `ASF_NATIVE_BACKEND=fallback`).
+#[test]
+fn peterson_analyzer_lowered_c11_mutual_exclusion() {
+    let (pair, asymmetric) = analyzer_lowered_pair(
+        asymfence_workloads::unannot::InferredKernel::Peterson,
+    );
+    assert!(asymmetric, "peterson's WS+ lowering should be light/heavy");
+    let r = asymfence_native::peterson(pair, iters());
+    assert_eq!(
+        r.violations,
+        0,
+        "analyzer-lowered Peterson violated mutual exclusion under {:?} on backend {}",
+        pair,
+        backend().label()
+    );
+    assert_eq!(r.ops, 2 * iters());
+}
+
+/// Same pipeline on the store-buffering kernel: the inferred WS+
+/// lowering (heavy on thread 0, light on thread 1) forbids the
+/// both-read-0 outcome on silicon.
+#[test]
+fn sb_analyzer_lowered_c11_never_violates() {
+    let (pair, asymmetric) =
+        analyzer_lowered_pair(asymfence_workloads::unannot::InferredKernel::Sb);
+    assert!(asymmetric, "sb's WS+ lowering should be light/heavy");
+    let r = sb_hammer(pair, iters());
+    assert_eq!(
+        r.violations,
+        0,
+        "analyzer-lowered SB observed both-read-0 under {:?} on backend {}",
+        pair,
+        backend().label()
+    );
+}
+
 /// TLRW loses no increments on a hot counter under the asymmetric pair
 /// (the read barrier's store→load window is the racy part).
 #[test]
