@@ -31,7 +31,7 @@ echo "== parallel harness smoke (jobs=2 == jobs=1, byte-for-byte) =="
 # wall-clock/RSS so the --metrics JSON is comparable byte-for-byte.
 if [ "$QUICK" != "quick" ]; then
   SMOKE="$(mktemp -d)"
-  trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}" "${EXH:-}"' EXIT
+  trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}" "${EXH:-}" "${ANA:-}" "${NATIVE:-}" "${SWEEP:-}"' EXIT
   for jobs in 1 2; do
     mkdir -p "$SMOKE/j$jobs"
     ( cd "$SMOKE/j$jobs" && \
@@ -71,13 +71,61 @@ if [ "$QUICK" != "quick" ]; then
   target/release/perfdiff --throughput-floor 1200000 "$SMOKE/floor/metrics.json"
 fi
 
+echo "== sharded sweep (3 shards == single process, byte-for-byte) =="
+# The sweep ledger must be an exact decomposition of the single-process
+# run: journal the quick grid through one whole-grid shard and through a
+# three-shard fleet, merge both ledgers, and require identical snapshot
+# bytes. The status dashboard must see the finished fleet.
+if [ "$QUICK" != "quick" ]; then
+  SWEEP="$(mktemp -d)"
+  trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}" "${EXH:-}" "${ANA:-}" "${NATIVE:-}" "${SWEEP:-}"' EXIT
+  ASF_PROGRESS=0 ASF_TELEMETRY_DETERMINISTIC=1 \
+    target/release/sweep run --ledger "$SWEEP/single" --quick --jobs 2 \
+      --metrics "$SWEEP/single-metrics.json"
+  for id in 0 1 2; do
+    ASF_PROGRESS=0 ASF_TELEMETRY_DETERMINISTIC=1 \
+      target/release/sweep run --ledger "$SWEEP/sharded" \
+        --shards 3 --shard-id $id --quick --jobs 2
+  done
+  target/release/sweep status --ledger "$SWEEP/sharded" > "$SWEEP/status.txt"
+  grep -q "fleet: 56/56 cells (100%)" "$SWEEP/status.txt"
+  mkdir -p "$SWEEP/merged"
+  target/release/sweep merge --ledger "$SWEEP/sharded" \
+    --out "$SWEEP/merged/single-metrics.json"
+  diff -u "$SWEEP/single-metrics.json" "$SWEEP/merged/single-metrics.json"
+
+  echo "== sweep crash recovery (SIGKILL a shard, resume, byte-identical merge) =="
+  # Kill shard 0 mid-grid (ASF_SWEEP_CELL_DELAY_MS stretches the run and
+  # shrinks the journal chunk to one cell, so the kill lands between
+  # durable records), run shard 1 to completion, resume shard 0 from its
+  # torn ledger, and require the re-merged snapshot to match the
+  # single-process bytes exactly.
+  ASF_PROGRESS=0 ASF_TELEMETRY_DETERMINISTIC=1 ASF_SWEEP_CELL_DELAY_MS=80 \
+    target/release/sweep run --ledger "$SWEEP/kill" \
+      --shards 2 --shard-id 0 --quick --jobs 2 &
+  VICTIM=$!
+  sleep 1.2
+  kill -9 "$VICTIM" 2>/dev/null || true
+  wait "$VICTIM" 2>/dev/null || true
+  ASF_PROGRESS=0 ASF_TELEMETRY_DETERMINISTIC=1 \
+    target/release/sweep run --ledger "$SWEEP/kill" \
+      --shards 2 --shard-id 1 --quick --jobs 2
+  ASF_PROGRESS=0 ASF_TELEMETRY_DETERMINISTIC=1 \
+    target/release/sweep run --ledger "$SWEEP/kill" \
+      --shards 2 --shard-id 0 --quick --jobs 2
+  mkdir -p "$SWEEP/recovered"
+  target/release/sweep merge --ledger "$SWEEP/kill" \
+    --out "$SWEEP/recovered/single-metrics.json"
+  diff -u "$SWEEP/single-metrics.json" "$SWEEP/recovered/single-metrics.json"
+fi
+
 echo "== synthesis smoke (--quick, jobs=2 == jobs=1, byte-for-byte) =="
 # The fence-assignment search must be deterministic at any worker count:
 # run the quick synthesis report serially and with two workers and diff
 # stdout and the emitted CSVs.
 if [ "$QUICK" != "quick" ]; then
   SYNTH="$(mktemp -d)"
-  trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}" "${EXH:-}"' EXIT
+  trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}" "${EXH:-}" "${ANA:-}" "${NATIVE:-}" "${SWEEP:-}"' EXIT
   for jobs in 1 2; do
     mkdir -p "$SYNTH/j$jobs"
     ( cd "$SYNTH/j$jobs" && \
@@ -94,7 +142,7 @@ echo "== inference smoke (analyze --quick, jobs=2 == jobs=1, byte-for-byte) =="
 # oracle-valid under every searched design.
 if [ "$QUICK" != "quick" ]; then
   ANA="$(mktemp -d)"
-  trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}" "${EXH:-}" "${ANA:-}"' EXIT
+  trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}" "${EXH:-}" "${ANA:-}" "${NATIVE:-}" "${SWEEP:-}"' EXIT
   for jobs in 1 2; do
     mkdir -p "$ANA/j$jobs"
     ( cd "$ANA/j$jobs" && \
@@ -113,7 +161,7 @@ echo "== exhaustive exploration smoke (DPOR, jobs=2 == jobs=1, byte-for-byte) ==
 # checks are the diff and the convictions below.
 if [ "$QUICK" != "quick" ]; then
   EXH="$(mktemp -d)"
-  trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}" "${EXH:-}" "${ANA:-}"' EXIT
+  trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}" "${EXH:-}" "${ANA:-}" "${NATIVE:-}" "${SWEEP:-}"' EXIT
   for jobs in 1 2; do
     ASF_PROGRESS=0 target/release/explore --scenario corpus --design all \
       --exhaustive --quick --jobs $jobs > "$EXH/j$jobs.txt" || true
@@ -142,7 +190,7 @@ if [ "$QUICK" != "quick" ]; then
   ASF_NATIVE_ITERS=40000 ASF_NATIVE_BACKEND=fallback \
     cargo test -q --offline --test native_litmus
   NATIVE="$(mktemp -d)"
-  trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}" "${EXH:-}" "${ANA:-}" "${NATIVE:-}"' EXIT
+  trap 'rm -rf "${SMOKE:-}" "${SYNTH:-}" "${EXH:-}" "${ANA:-}" "${NATIVE:-}" "${SWEEP:-}"' EXIT
   target/release/native_bench --quick --crossval \
     --metrics "$NATIVE/native.json" | tee "$NATIVE/stdout.txt"
   grep -q "^backend: " "$NATIVE/stdout.txt"

@@ -61,9 +61,17 @@ pub fn run_with(
         None => SYNTH_DESIGNS.to_vec(),
         Some(ds) => ds.clone(),
     };
+    // ASF_SHARDS/ASF_SHARD_ID partition the kernel grid across fleet
+    // processes, round-robin by position in the (already `--filter`ed)
+    // list. The synthesizer below stays whole: each owned kernel's mask
+    // space is searched completely.
+    let shard = asymfence_common::par::Shard::from_env();
     let kernels: Vec<InferredKernel> = InferredKernel::ALL
         .into_iter()
         .filter(|k| opts.keep(k.name()))
+        .enumerate()
+        .filter(|&(i, _)| shard.owns(i as u64))
+        .map(|(_, k)| k)
         .collect();
 
     let explorer = Explorer::new(ExploreConfig {

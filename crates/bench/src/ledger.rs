@@ -1,0 +1,298 @@
+//! Reading, validating and merging sweep-ledger directories into a
+//! [`BenchSnapshot`].
+//!
+//! The write side lives in `asymfence_common::ledger` (records and
+//! torn-tail recovery) and [`crate::shard`] (the per-shard loop). This
+//! module is the read side: [`read_dir_logs`] loads every
+//! `shard-*.jsonl` in a directory, and [`merge_dir`] folds the union of
+//! their [`CellRecord`]s — deduplicated by grid index, validated for
+//! completeness — into a snapshot using *exactly* the
+//! [`Collector`](crate::metrics::Collector) aggregation, in grid-index
+//! order. Because cell records are deterministic (simulation counters
+//! always; wall-clock masked at journal time in deterministic mode), a
+//! 3-shard merge, a 1-shard merge, and a kill-resume-merge all produce
+//! byte-identical JSON.
+
+use std::path::Path;
+
+use asymfence::prelude::{FenceClass, TraceSink};
+use asymfence_common::ledger::{
+    read_shard_log, CellRecord, ShardLog, SHARD_FILE_PREFIX, SHARD_FILE_SUFFIX,
+};
+use asymfence_common::telemetry::{
+    BenchSnapshot, FenceLatencySummary, MetricEntry, ShardTelemetry,
+};
+use asymfence_common::trace::FenceTally;
+use asymfence_common::MachineStats;
+
+use crate::shard::{SweepCell, HEARTBEAT_CELLS};
+use crate::RunResult;
+
+/// Builds the durable [`CellRecord`] for one executed sweep cell. In
+/// deterministic mode the wall-clock is masked to 0 *at journal time*
+/// (mirroring `Collector::record`), so the ledger bytes themselves are
+/// reproducible.
+pub fn cell_record(
+    cell: &SweepCell,
+    result: &RunResult,
+    wall_ns: u64,
+    sink: &TraceSink,
+    deterministic: bool,
+) -> CellRecord {
+    CellRecord {
+        index: cell.index,
+        section: cell.section.to_string(),
+        workload: cell.spec.workload.name(),
+        design: cell.spec.design.label().to_string(),
+        cycles: result.cycles,
+        commits: result.commits,
+        aborts: result.aborts,
+        scv: result.scv,
+        wall_ns: if deterministic { 0 } else { wall_ns },
+        stats: result.stats.clone(),
+        tallies: std::array::from_fn(|i| sink.tally(FenceClass::ALL[i]).clone()),
+    }
+}
+
+/// Loads every `shard-<id>.jsonl` ledger in `dir`, sorted by shard id.
+/// Files whose names don't match the pattern are ignored; a missing or
+/// empty directory yields an empty list.
+pub fn read_dir_logs(dir: &Path) -> Result<Vec<(u64, ShardLog)>, String> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(out),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let Some(id) = name
+            .strip_prefix(SHARD_FILE_PREFIX)
+            .and_then(|rest| rest.strip_suffix(SHARD_FILE_SUFFIX))
+            .and_then(|id| id.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        out.push((id, read_shard_log(&entry.path())?));
+    }
+    out.sort_by_key(|(id, _)| *id);
+    Ok(out)
+}
+
+/// What [`merge_dir`] produced, with the robustness counters the caller
+/// reports.
+#[derive(Clone, Debug)]
+pub struct MergeOutcome {
+    /// The merged snapshot.
+    pub snapshot: BenchSnapshot,
+    /// Duplicate cell records dropped (re-executed cells after a crash
+    /// that landed between execution and journaling — byte-identical
+    /// re-runs, deduped by grid index keeping the first).
+    pub duplicates: u64,
+    /// Unknown-version/kind records skipped with a warning while
+    /// reading.
+    pub skipped_unknown: u64,
+    /// Torn tail bytes discarded during recovery, summed across shards.
+    pub torn_bytes: u64,
+}
+
+// Mirror of the Collector's private per-cell aggregate: same key, same
+// accumulation, same rendering below. `sweep_ledger.rs` pins the two
+// folds byte-identical.
+struct EntryAgg {
+    section: String,
+    workload: String,
+    design: String,
+    runs: u64,
+    wall_ns: u64,
+    wall_min_ns: u64,
+    wall_max_ns: u64,
+    cycles: u64,
+    commits: u64,
+    aborts: u64,
+    stats: MachineStats,
+    tallies: [FenceTally; 3],
+}
+
+/// Merges every shard ledger in `dir` into a complete-grid
+/// [`BenchSnapshot`] labelled `label`. Fails if the directory holds no
+/// ledgers, if shards disagree about the grid they ran, or if any grid
+/// cell has no durable record (an unfinished sweep — resume the missing
+/// shards first).
+pub fn merge_dir(dir: &Path, label: &str) -> Result<MergeOutcome, String> {
+    let logs = read_dir_logs(dir)?;
+    let claims: Vec<_> = logs
+        .iter()
+        .flat_map(|(_, log)| log.claims.iter())
+        .collect();
+    let Some(first) = claims.first() else {
+        return Err(format!("{}: no shard ledgers to merge", dir.display()));
+    };
+    for c in &claims {
+        if c.shards != first.shards
+            || c.cells != first.cells
+            || c.grid != first.grid
+            || c.deterministic != first.deterministic
+            || c.quick != first.quick
+        {
+            return Err(format!(
+                "{}: shard {} claimed a different sweep \
+                 ({} shards / {} cells / grid `{}` / det {} / quick {}) than shard {} \
+                 ({} / {} / `{}` / {} / {})",
+                dir.display(),
+                c.shard,
+                c.shards,
+                c.cells,
+                c.grid,
+                c.deterministic,
+                c.quick,
+                first.shard,
+                first.shards,
+                first.cells,
+                first.grid,
+                first.deterministic,
+                first.quick,
+            ));
+        }
+    }
+    let deterministic = first.deterministic;
+    let quick = first.quick;
+    let shards = first.shards;
+    let total_cells = first.cells;
+
+    // Union of cell records in (shard-id, journal) order, then a stable
+    // sort by grid index: the first durable record for an index wins,
+    // later ones are duplicates from re-executed chunks.
+    let mut cells: Vec<&CellRecord> = logs
+        .iter()
+        .flat_map(|(_, log)| log.cells.iter())
+        .collect();
+    cells.sort_by_key(|c| c.index);
+    let mut duplicates = 0u64;
+    cells.dedup_by(|b, a| {
+        let dup = a.index == b.index;
+        if dup {
+            duplicates += 1;
+        }
+        dup
+    });
+    if cells.len() as u64 != total_cells
+        || cells.iter().enumerate().any(|(i, c)| c.index != i as u64)
+    {
+        let have: Vec<u64> = cells.iter().map(|c| c.index).collect();
+        let missing = (0..total_cells).filter(|i| !have.contains(i)).count();
+        return Err(format!(
+            "{}: sweep incomplete: {missing} of {total_cells} cells have no durable \
+             record (resume the unfinished shards, then re-merge)",
+            dir.display()
+        ));
+    }
+
+    // The Collector fold, in grid-index order (the order a
+    // single-process run records in).
+    let mut entries: Vec<EntryAgg> = Vec::new();
+    for cell in &cells {
+        let idx = match entries.iter().position(|e| {
+            e.section == cell.section && e.workload == cell.workload && e.design == cell.design
+        }) {
+            Some(i) => i,
+            None => {
+                entries.push(EntryAgg {
+                    section: cell.section.clone(),
+                    workload: cell.workload.clone(),
+                    design: cell.design.clone(),
+                    runs: 0,
+                    wall_ns: 0,
+                    wall_min_ns: u64::MAX,
+                    wall_max_ns: 0,
+                    cycles: 0,
+                    commits: 0,
+                    aborts: 0,
+                    stats: MachineStats::default(),
+                    tallies: Default::default(),
+                });
+                entries.len() - 1
+            }
+        };
+        let agg = &mut entries[idx];
+        agg.runs += 1;
+        agg.wall_ns += cell.wall_ns;
+        agg.wall_min_ns = agg.wall_min_ns.min(cell.wall_ns);
+        agg.wall_max_ns = agg.wall_max_ns.max(cell.wall_ns);
+        agg.cycles += cell.cycles;
+        agg.commits += cell.commits;
+        agg.aborts += cell.aborts;
+        agg.stats.merge(&cell.stats);
+        for i in 0..FenceClass::ALL.len() {
+            agg.tallies[i].merge(&cell.tallies[i]);
+        }
+    }
+
+    let mut snap = BenchSnapshot::new(label);
+    snap.deterministic = deterministic;
+    snap.quick = quick;
+    // A merged snapshot's harness wall is the sum of per-cell walls
+    // (CPU-seconds of simulation, not elapsed time of any one process);
+    // cell walls are already 0 in deterministic mode.
+    snap.total_wall_ns = cells.iter().map(|c| c.wall_ns).sum();
+    snap.peak_rss_bytes = if deterministic {
+        0
+    } else {
+        logs.iter()
+            .flat_map(|(_, log)| log.heartbeats.iter())
+            .map(|h| h.peak_rss_bytes)
+            .max()
+            .unwrap_or(0)
+    };
+    // Pool counters are per-process; a merge has no meaningful union, so
+    // they stay at the deterministic-mode default.
+    for cell in &cells {
+        match snap.phases.iter_mut().find(|(name, _)| name == &cell.section) {
+            Some((_, ns)) => *ns += cell.wall_ns,
+            None => snap.phases.push((cell.section.clone(), cell.wall_ns)),
+        }
+    }
+    snap.shard = if deterministic {
+        None
+    } else {
+        Some(ShardTelemetry {
+            shards,
+            resumes: logs
+                .iter()
+                .map(|(_, log)| (log.claims.len() as u64).saturating_sub(1))
+                .sum(),
+            heartbeat_cells: HEARTBEAT_CELLS as u64,
+        })
+    };
+    for agg in &entries {
+        let mut e = MetricEntry::new(&agg.section, &agg.workload, &agg.design);
+        e.runs = agg.runs;
+        e.sim_cycles = agg.cycles;
+        e.instrs_retired = agg.stats.aggregate().instrs_retired;
+        e.commits = agg.commits;
+        e.aborts = agg.aborts;
+        e.wall_ns = agg.wall_ns;
+        e.task_wall_min_ns = if agg.wall_min_ns == u64::MAX {
+            0
+        } else {
+            agg.wall_min_ns
+        };
+        e.task_wall_max_ns = agg.wall_max_ns;
+        e.derived = agg.stats.derived();
+        for (i, class) in FenceClass::ALL.iter().enumerate() {
+            if agg.tallies[i].issued > 0 {
+                e.fences
+                    .push(FenceLatencySummary::from_tally(class.label(), &agg.tallies[i]));
+            }
+        }
+        snap.entries.push(e);
+    }
+
+    Ok(MergeOutcome {
+        snapshot: snap,
+        duplicates,
+        skipped_unknown: logs.iter().map(|(_, log)| log.skipped_unknown).sum(),
+        torn_bytes: logs.iter().map(|(_, log)| log.torn_bytes).sum(),
+    })
+}

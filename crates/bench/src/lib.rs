@@ -30,6 +30,7 @@
 //! | `all_experiments` | everything above, in sequence |
 //! | `native_bench` | real-hardware kernels + sim-vs-silicon crossval ([`native`]) |
 //! | `analyze` | whole-program fence inference + C11 lowering (crate `asymfence-analyze`) |
+//! | `sweep` | sharded sweeps: durable run ledger ([`ledger`]), crash-safe shards ([`shard`]), fleet dashboard ([`status`]) |
 
 use asymfence::prelude::*;
 use asymfence_workloads::cilk::CilkApp;
@@ -38,12 +39,15 @@ use asymfence_workloads::ustm::UstmBench;
 
 pub mod cli;
 pub mod figures;
+pub mod ledger;
 pub mod metrics;
 pub mod micro;
 pub mod native;
 pub mod pool;
 pub mod report;
 pub mod runner;
+pub mod shard;
+pub mod status;
 pub mod trace;
 
 pub use report::{f2, mean, pct, ReportSink, Table};

@@ -19,7 +19,7 @@
 //! `ASF_PROGRESS=0` (and forced on by `ASF_PROGRESS=1`).
 
 use std::io::IsTerminal;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -567,6 +567,104 @@ pub fn progress_from_env() -> bool {
     }
 }
 
+/// Renders one progress line: `[done/total] label (cycles cycles, W ms`
+/// plus an optional `, eta ~…` — the exact shape the runner has always
+/// printed, factored out so the sweep's fleet-merged lines share it and
+/// tests can pin it.
+pub fn format_progress(
+    done: u64,
+    total: u64,
+    label: &str,
+    cycles: u64,
+    wall_ms: u64,
+    eta_ns: Option<u64>,
+) -> String {
+    let mut line = format!("[{done}/{total}] {label} ({cycles} cycles, {wall_ms} ms");
+    if let Some(eta) = eta_ns {
+        line.push_str(&format!(", eta ~{}", human_ns(eta)));
+    }
+    line.push(')');
+    line
+}
+
+/// Cross-shard progress state for runs under `sweep`: merges this
+/// shard's completions (including cells journaled by prior lives of a
+/// resumed shard) with the other shards' ledger-reported counts, so the
+/// progress line shows *fleet* completed/total instead of the local
+/// batch — the local batch stopwatch knows nothing about sibling
+/// processes. Remote counts are refreshed between chunks by the sweep
+/// driver ([`FleetProgress::set_remote_done`]); the ETA projects this
+/// shard's remaining cells from its own observed rate, which is the
+/// number the operator of *this* process can act on.
+#[derive(Debug)]
+pub struct FleetProgress {
+    fleet_total: u64,
+    owned: u64,
+    prior_done: u64,
+    local_done: AtomicU64,
+    remote_done: AtomicU64,
+    start: Stopwatch,
+}
+
+impl FleetProgress {
+    /// Fresh fleet state: `fleet_total` cells across all shards, of
+    /// which this shard owns `owned` and has already journaled
+    /// `prior_done` in earlier lives.
+    pub fn new(fleet_total: u64, owned: u64, prior_done: u64) -> Self {
+        FleetProgress {
+            fleet_total,
+            owned,
+            prior_done,
+            local_done: AtomicU64::new(0),
+            remote_done: AtomicU64::new(0),
+            start: Stopwatch::start(),
+        }
+    }
+
+    /// Total cells in the fleet-wide grid.
+    pub fn fleet_total(&self) -> u64 {
+        self.fleet_total
+    }
+
+    /// Updates the sum of sibling shards' completed cells (read from
+    /// their ledgers).
+    pub fn set_remote_done(&self, n: u64) {
+        self.remote_done.store(n, Ordering::Relaxed);
+    }
+
+    /// Cells this shard completed in this life.
+    pub fn local_done(&self) -> u64 {
+        self.local_done.load(Ordering::Relaxed)
+    }
+
+    /// Fleet-wide completed count: prior lives + this life + siblings.
+    pub fn merged_done(&self) -> u64 {
+        self.prior_done + self.local_done() + self.remote_done.load(Ordering::Relaxed)
+    }
+
+    /// Records one local completion; returns the merged fleet count
+    /// after it.
+    pub fn note_done(&self) -> u64 {
+        self.local_done.fetch_add(1, Ordering::Relaxed);
+        self.merged_done()
+    }
+
+    /// ETA until *this shard* finishes its partition, projected from the
+    /// rate observed in this life. `None` until a first completion or
+    /// once the shard is done.
+    pub fn eta_ns(&self) -> Option<u64> {
+        let local = self.local_done();
+        if local == 0 {
+            return None;
+        }
+        let remaining = self.owned.saturating_sub(self.prior_done + local);
+        if remaining == 0 {
+            return None;
+        }
+        Some(self.start.elapsed_ns() / local * remaining)
+    }
+}
+
 /// Executes batches of [`RunSpec`]s over a worker pool with
 /// order-preserving aggregation. Optionally carries a telemetry
 /// [`Collector`] (`--metrics`), which every batch reports into.
@@ -575,6 +673,7 @@ pub struct Runner {
     jobs: usize,
     progress: bool,
     collector: Option<Arc<Collector>>,
+    fleet: Option<Arc<FleetProgress>>,
 }
 
 impl Default for Runner {
@@ -592,6 +691,7 @@ impl Runner {
             jobs: par::resolve_jobs(explicit),
             progress: progress_from_env(),
             collector: None,
+            fleet: None,
         }
     }
 
@@ -601,7 +701,18 @@ impl Runner {
             jobs: jobs.max(1),
             progress: progress_from_env(),
             collector: None,
+            fleet: None,
         }
+    }
+
+    /// Attaches cross-shard fleet progress: progress lines switch from
+    /// local `[done/total]` to merged fleet counts (see
+    /// [`FleetProgress`]). Completions are counted into the fleet state
+    /// whether or not progress lines are printed.
+    #[must_use]
+    pub fn with_fleet(mut self, fleet: Arc<FleetProgress>) -> Self {
+        self.fleet = Some(fleet);
+        self
     }
 
     /// Overrides progress reporting (tests silence it).
@@ -649,40 +760,7 @@ impl Runner {
     /// *serially in spec order* after the fan-out returns, so the
     /// telemetry is deterministic at any worker count too.
     pub fn run(&self, specs: &[RunSpec]) -> Vec<RunResult> {
-        let total = specs.len();
-        let done = AtomicUsize::new(0);
-        let batch = Stopwatch::start();
-        let collecting = self.collector.is_some();
-        let outs = par::par_map(self.jobs, specs, |_, spec| {
-            let t0 = Instant::now();
-            let (result, sink) = if collecting {
-                let (result, sink) = spec.execute_traced();
-                (result, Some(sink))
-            } else {
-                (spec.execute(), None)
-            };
-            let wall_ns = t0.elapsed().as_nanos() as u64;
-            let n = done.fetch_add(1, Ordering::Relaxed) + 1;
-            if self.progress {
-                let mut line = format!(
-                    "[{n}/{total}] {} ({} cycles, {} ms",
-                    spec.label(),
-                    result.cycles,
-                    wall_ns / 1_000_000
-                );
-                if n < total {
-                    // ETA from the batch stopwatch: mean wall per
-                    // completed run times the runs still outstanding,
-                    // scaled down by the pool width.
-                    let eta = batch.elapsed_ns() / n as u64 * (total - n) as u64
-                        / self.jobs.min(total) as u64;
-                    line.push_str(&format!(", eta ~{}", human_ns(eta)));
-                }
-                line.push(')');
-                eprintln!("{line}");
-            }
-            (result, wall_ns, sink)
-        });
+        let outs = self.run_inner(specs, self.collector.is_some());
         if let Some(collector) = &self.collector {
             for (spec, (result, wall_ns, sink)) in specs.iter().zip(&outs) {
                 let sink = sink.as_ref().expect("collecting => traced");
@@ -690,6 +768,71 @@ impl Runner {
             }
         }
         outs.into_iter().map(|(result, _, _)| result).collect()
+    }
+
+    /// Runs every spec with the fence trace enabled and returns each
+    /// spec's `(result, wall_ns, trace)` in spec order — the raw
+    /// material the sweep journals as ledger cell records. Bypasses the
+    /// collector: a sharded sweep aggregates by merging the ledger, not
+    /// in-process.
+    pub fn run_traced(&self, specs: &[RunSpec]) -> Vec<(RunResult, u64, TraceSink)> {
+        self.run_inner(specs, true)
+            .into_iter()
+            .map(|(result, wall_ns, sink)| (result, wall_ns, sink.expect("traced")))
+            .collect()
+    }
+
+    fn run_inner(
+        &self,
+        specs: &[RunSpec],
+        traced: bool,
+    ) -> Vec<(RunResult, u64, Option<TraceSink>)> {
+        let total = specs.len();
+        let done = AtomicUsize::new(0);
+        let batch = Stopwatch::start();
+        par::par_map(self.jobs, specs, |_, spec| {
+            let t0 = Instant::now();
+            let (result, sink) = if traced {
+                let (result, sink) = spec.execute_traced();
+                (result, Some(sink))
+            } else {
+                (spec.execute(), None)
+            };
+            let wall_ns = t0.elapsed().as_nanos() as u64;
+            let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+            let fleet_done = self.fleet.as_ref().map(|f| f.note_done());
+            if self.progress {
+                let line = match (&self.fleet, fleet_done) {
+                    (Some(fleet), Some(fdone)) => format_progress(
+                        fdone,
+                        fleet.fleet_total(),
+                        &spec.label(),
+                        result.cycles,
+                        wall_ns / 1_000_000,
+                        fleet.eta_ns(),
+                    ),
+                    _ => {
+                        // ETA from the batch stopwatch: mean wall per
+                        // completed run times the runs still
+                        // outstanding, scaled down by the pool width.
+                        let eta = (n < total).then(|| {
+                            batch.elapsed_ns() / n as u64 * (total - n) as u64
+                                / self.jobs.min(total) as u64
+                        });
+                        format_progress(
+                            n as u64,
+                            total as u64,
+                            &spec.label(),
+                            result.cycles,
+                            wall_ns / 1_000_000,
+                            eta,
+                        )
+                    }
+                };
+                eprintln!("{line}");
+            }
+            (result, wall_ns, sink)
+        })
     }
 
     /// Runs one spec (convenience for timers and tests; bypasses the
@@ -738,6 +881,56 @@ mod tests {
             assert_eq!(a.cycles, b.cycles);
             assert_eq!(a.commits, b.commits);
             assert_eq!(a.stats, b.stats);
+        }
+    }
+
+    #[test]
+    fn format_progress_matches_historic_shape() {
+        assert_eq!(
+            format_progress(3, 10, "fib/WS+/4c/s7", 12345, 8, None),
+            "[3/10] fib/WS+/4c/s7 (12345 cycles, 8 ms)"
+        );
+        assert_eq!(
+            format_progress(3, 10, "fib/WS+/4c/s7", 12345, 8, Some(5_000_000)),
+            "[3/10] fib/WS+/4c/s7 (12345 cycles, 8 ms, eta ~5ms)"
+        );
+    }
+
+    #[test]
+    fn fleet_progress_merges_prior_local_and_remote() {
+        let f = FleetProgress::new(56, 19, 4);
+        assert_eq!(f.merged_done(), 4, "prior-life cells count from the start");
+        assert_eq!(f.eta_ns(), None, "no rate before the first completion");
+        f.set_remote_done(30);
+        assert_eq!(f.note_done(), 35);
+        assert_eq!(f.note_done(), 36);
+        assert_eq!(f.local_done(), 2);
+        // 19 owned - 4 prior - 2 local = 13 remaining: ETA exists.
+        assert!(f.eta_ns().is_some());
+        for _ in 0..13 {
+            f.note_done();
+        }
+        assert_eq!(f.eta_ns(), None, "finished shard has no ETA");
+        assert_eq!(f.merged_done(), 4 + 15 + 30);
+    }
+
+    #[test]
+    fn run_traced_matches_run_results() {
+        let specs = vec![
+            RunSpec::cilk(CilkApp::Fib, FenceDesign::SPlus, 2, 7),
+            RunSpec::ustm(UstmBench::Counter, FenceDesign::WsPlus, 2, 7, 40_000),
+        ];
+        let runner = Runner::with_jobs(2).progress(false);
+        let plain = runner.run(&specs);
+        let traced = runner.run_traced(&specs);
+        assert_eq!(traced.len(), plain.len());
+        for ((result, _, sink), p) in traced.iter().zip(&plain) {
+            assert_eq!(result.cycles, p.cycles);
+            assert_eq!(result.stats, p.stats);
+            assert!(
+                FenceClass::ALL.iter().any(|c| sink.tally(*c).issued > 0),
+                "traced run carries fence tallies"
+            );
         }
     }
 

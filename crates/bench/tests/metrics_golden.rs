@@ -86,6 +86,12 @@ fn golden_snapshot_has_the_gated_schema() {
     // The full derived block is present (every DerivedStats field is
     // serialized by name; an unknown or missing name fails parse).
     assert_eq!(e.derived.fields().len(), 19);
+    // Shard provenance is a sharded-merge-only extra: collector
+    // snapshots never carry it, so the golden bytes stay schema v2 and
+    // `results/bench_baseline.json` never moves for shard-free runs.
+    assert!(snap.shard.is_none(), "collector snapshots carry no shard block");
+    assert!(golden.contains("\"schema\": 2"), "shard-free snapshots stay on v2");
+    assert!(!golden.contains("\"shard\""));
 }
 
 /// Perturbing a single counter is a breach: rebuilding the same snapshot

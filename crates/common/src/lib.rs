@@ -11,7 +11,8 @@
 //! simulator's nondeterminism points ([`schedule`]), a hermetic
 //! property-testing harness
 //! ([`prop`]), scoped worker-pool parallelism for deterministic sweeps
-//! ([`par`]) and small utility containers ([`queue`]).
+//! ([`par`]), the sharded-sweep run-ledger record layer ([`ledger`])
+//! and small utility containers ([`queue`]).
 //!
 //! # Examples
 //!
@@ -32,6 +33,7 @@ pub mod assign;
 pub mod config;
 pub mod hash;
 pub mod ids;
+pub mod ledger;
 pub mod par;
 pub mod placement;
 pub mod prop;

@@ -24,6 +24,89 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 /// Environment variable overriding the default worker count.
 pub const JOBS_ENV: &str = "ASF_JOBS";
 
+/// Environment variable selecting the shard count (`ASF_SHARDS`).
+pub const SHARDS_ENV: &str = "ASF_SHARDS";
+
+/// Environment variable selecting this process's shard id
+/// (`ASF_SHARD_ID`, `0..ASF_SHARDS`).
+pub const SHARD_ID_ENV: &str = "ASF_SHARD_ID";
+
+/// A deterministic 1-of-N partition of an indexed work grid.
+///
+/// Sharding is round-robin by index: shard `k` of `n` owns every item
+/// whose index satisfies `i % n == k`. Round-robin (rather than block)
+/// partitioning keeps per-shard load balanced when cost varies smoothly
+/// with the index (seed sweeps, mask enumerations, figure grids), and —
+/// critically for the sweep ledger — makes ownership a pure function of
+/// `(index, shards)`, so a resumed shard recomputes exactly the set it
+/// owned before the crash.
+///
+/// [`Shard::whole`] (1 shard, id 0) owns everything and is the identity:
+/// every seam that consults a shard produces byte-identical output under
+/// it, which is what keeps single-process runs unchanged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shard {
+    /// This shard's id, `0..count`.
+    pub id: u64,
+    /// Total number of shards (>= 1).
+    pub count: u64,
+}
+
+impl Shard {
+    /// The identity shard: owns every index.
+    pub fn whole() -> Self {
+        Shard { id: 0, count: 1 }
+    }
+
+    /// Shard `id` of `count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or `id >= count`.
+    pub fn new(id: u64, count: u64) -> Self {
+        assert!(count >= 1, "shard count must be at least 1");
+        assert!(id < count, "shard id {id} out of range 0..{count}");
+        Shard { id, count }
+    }
+
+    /// The shard selected by `ASF_SHARDS` / `ASF_SHARD_ID`, falling back
+    /// to [`Shard::whole`] when unset or unparsable. An out-of-range id
+    /// also falls back to the whole grid (the seams must never silently
+    /// drop all work).
+    pub fn from_env() -> Self {
+        let parse = |var: &str| std::env::var(var).ok().and_then(|v| v.parse::<u64>().ok());
+        match (parse(SHARDS_ENV), parse(SHARD_ID_ENV)) {
+            (Some(count), Some(id)) if count >= 1 && id < count => Shard { id, count },
+            _ => Shard::whole(),
+        }
+    }
+
+    /// Whether this shard is the whole grid.
+    pub fn is_whole(&self) -> bool {
+        self.count == 1
+    }
+
+    /// Whether this shard owns index `i`.
+    pub fn owns(&self, i: u64) -> bool {
+        i % self.count == self.id
+    }
+
+    /// How many indices in `0..n` this shard owns.
+    pub fn owned_in(&self, n: u64) -> u64 {
+        if n <= self.id {
+            0
+        } else {
+            (n - self.id).div_ceil(self.count)
+        }
+    }
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Shard::whole()
+    }
+}
+
 /// Resolves a worker count: `explicit` (if nonzero) beats `ASF_JOBS`
 /// (if set and nonzero) beats [`std::thread::available_parallelism`].
 /// Always returns at least 1.
@@ -211,6 +294,41 @@ mod tests {
         assert!(resolve_jobs(None) >= 1);
         // Zero means "auto", never a zero-sized pool.
         assert!(resolve_jobs(Some(0)) >= 1);
+    }
+
+    #[test]
+    fn shard_round_robin_partition_is_exact() {
+        // Every index in 0..n is owned by exactly one of the k shards,
+        // and owned_in agrees with a direct count.
+        for count in 1..=5u64 {
+            for n in [0u64, 1, 7, 64] {
+                let mut total = 0;
+                for id in 0..count {
+                    let s = Shard::new(id, count);
+                    let direct = (0..n).filter(|&i| s.owns(i)).count() as u64;
+                    assert_eq!(s.owned_in(n), direct, "id={id} count={count} n={n}");
+                    total += direct;
+                }
+                assert_eq!(total, n);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_whole_owns_everything() {
+        let w = Shard::whole();
+        assert!(w.is_whole());
+        assert_eq!(w, Shard::default());
+        for i in 0..100 {
+            assert!(w.owns(i));
+        }
+        assert_eq!(w.owned_in(37), 37);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_rejects_out_of_range_id() {
+        let _ = Shard::new(3, 3);
     }
 
     #[test]

@@ -123,6 +123,79 @@ impl CoreStats {
         }
         self.bs_lines_sum as f64 / self.wf_count as f64
     }
+
+    /// Number of counters (array length of [`CoreStats::values`]).
+    pub const FIELDS: usize = 25;
+
+    /// Every counter as a fixed-size array in declaration order — the
+    /// wire form the sweep run ledger persists a core as. The order is
+    /// the same one `AddAssign` folds in; [`CoreStats::from_values`]
+    /// inverts it exactly.
+    pub fn values(&self) -> [u64; Self::FIELDS] {
+        [
+            self.busy_cycles,
+            self.fence_stall_cycles,
+            self.other_stall_cycles,
+            self.idle_cycles,
+            self.instrs_retired,
+            self.loads,
+            self.stores,
+            self.rmws,
+            self.sf_count,
+            self.wf_count,
+            self.wee_demotions,
+            self.bs_lines_sum,
+            self.bs_peak,
+            self.bs_overflows,
+            self.writes_bounced,
+            self.bounce_retries,
+            self.order_ops,
+            self.cond_order_failures,
+            self.cond_order_successes,
+            self.recoveries,
+            self.load_squashes,
+            self.early_retired_loads,
+            self.remote_ps_stalls,
+            self.l1_misses,
+            self.l1_hits,
+        ]
+    }
+
+    /// Rebuilds a core from a [`CoreStats::values`] array. `None` when
+    /// the slice has the wrong length (ledger written by a build with a
+    /// different counter set — record-level schema drift).
+    pub fn from_values(vals: &[u64]) -> Option<CoreStats> {
+        if vals.len() != Self::FIELDS {
+            return None;
+        }
+        Some(CoreStats {
+            busy_cycles: vals[0],
+            fence_stall_cycles: vals[1],
+            other_stall_cycles: vals[2],
+            idle_cycles: vals[3],
+            instrs_retired: vals[4],
+            loads: vals[5],
+            stores: vals[6],
+            rmws: vals[7],
+            sf_count: vals[8],
+            wf_count: vals[9],
+            wee_demotions: vals[10],
+            bs_lines_sum: vals[11],
+            bs_peak: vals[12],
+            bs_overflows: vals[13],
+            writes_bounced: vals[14],
+            bounce_retries: vals[15],
+            order_ops: vals[16],
+            cond_order_failures: vals[17],
+            cond_order_successes: vals[18],
+            recoveries: vals[19],
+            load_squashes: vals[20],
+            early_retired_loads: vals[21],
+            remote_ps_stalls: vals[22],
+            l1_misses: vals[23],
+            l1_hits: vals[24],
+        })
+    }
 }
 
 impl AddAssign<&CoreStats> for CoreStats {
@@ -613,6 +686,22 @@ mod tests {
             assert_eq!(*v, i as f64 + 0.5, "field {name} lost its value");
         }
         assert!(!src.set_field("no_such_field", 1.0));
+    }
+
+    #[test]
+    fn core_values_round_trip_in_addassign_order() {
+        // Give every counter a distinct value so a transposition in
+        // either direction would be caught.
+        let vals: Vec<u64> = (1..=CoreStats::FIELDS as u64).map(|i| i * 11).collect();
+        let core = CoreStats::from_values(&vals).unwrap();
+        assert_eq!(core.values().to_vec(), vals);
+        // Spot-check that the array order is the declaration order.
+        assert_eq!(core.busy_cycles, 11);
+        assert_eq!(core.bs_peak, 13 * 11);
+        assert_eq!(core.l1_hits, 25 * 11);
+        // Wrong lengths are schema drift, not a panic.
+        assert!(CoreStats::from_values(&vals[..24]).is_none());
+        assert!(CoreStats::from_values(&[]).is_none());
     }
 
     #[test]

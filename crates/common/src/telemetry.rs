@@ -41,14 +41,23 @@ use std::time::Instant;
 use crate::stats::DerivedStats;
 use crate::trace::FenceTally;
 
-/// Snapshot schema version; [`diff`] refuses to compare across versions.
+/// Highest snapshot schema version this build understands.
 /// Version 2 added the [`PoolTelemetry`] block (machine-pool hits,
 /// rebuilds and arena bytes kept alive across resets). Still within
 /// version 2, native-runtime snapshots additively carry a snapshot-level
 /// `backend` string and per-entry `ops`/`ns_per_op` fields — all three
 /// are omitted from simulator snapshots (so their bytes are unchanged)
 /// and parse as absent-tolerant optionals.
-pub const SCHEMA_VERSION: u64 = 2;
+/// Version 3 adds the optional [`ShardTelemetry`] block written by
+/// merged sharded-sweep snapshots. Snapshots without a shard block —
+/// including everything the deterministic collection mode produces —
+/// still serialize as version 2, so the checked-in baseline and all
+/// byte-diffed CI artifacts are unchanged; [`BenchSnapshot::parse`]
+/// accepts [`MIN_SCHEMA_VERSION`]`..=SCHEMA_VERSION`.
+pub const SCHEMA_VERSION: u64 = 3;
+
+/// Oldest snapshot schema version this build still parses.
+pub const MIN_SCHEMA_VERSION: u64 = 2;
 
 /// Environment variable zeroing wall-clock/RSS fields at collection time
 /// (`ASF_TELEMETRY_DETERMINISTIC=1`), making snapshot bytes identical at
@@ -280,6 +289,47 @@ impl Json {
                 }
                 out.push('\n');
                 push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Renders compact single-line JSON (no spaces or newlines) — the
+    /// form the sweep run ledger appends, one record per line, so a
+    /// ledger file is valid JSONL and a torn tail is exactly the bytes
+    /// after the last `\n`. Deterministic like [`Json::render`].
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.render_compact_into(&mut out);
+        out
+    }
+
+    fn render_compact_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => render_num(out, *n),
+            Json::Str(s) => render_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_compact_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_str(out, k);
+                    out.push(':');
+                    v.render_compact_into(out);
+                }
                 out.push('}');
             }
         }
@@ -810,6 +860,23 @@ pub struct PoolTelemetry {
     pub bytes_reused: u64,
 }
 
+/// Sharded-sweep provenance attached to a merged snapshot (schema v3,
+/// additive): how many shards produced the ledger the snapshot was
+/// merged from, how many shard resumes the ledger recorded, and the
+/// heartbeat cadence (cells per heartbeat record). Harness metadata like
+/// [`PoolTelemetry`] — the *simulation* content of a merged snapshot is
+/// independent of all three — so deterministic collection masks the
+/// whole block away (`shard: None`) and [`diff`] never gates on it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardTelemetry {
+    /// Number of shards the grid was partitioned into.
+    pub shards: u64,
+    /// Shard resumes recorded across the ledger (0 = no crash/restart).
+    pub resumes: u64,
+    /// Heartbeat cadence: cells completed between heartbeat records.
+    pub heartbeat_cells: u64,
+}
+
 /// A machine-readable harness-performance snapshot: metadata plus one
 /// [`MetricEntry`] per (section, workload, design) cell. Written as
 /// `BENCH_<label>.json` style files by `--metrics PATH` and compared by
@@ -825,6 +892,10 @@ pub struct BenchSnapshot {
     /// Native fence backend (`native_bench` snapshots only: the
     /// `FenceBackend` label; `None` and omitted for simulator runs).
     pub backend: Option<String>,
+    /// Sharded-sweep provenance (merged-ledger snapshots only; `None`
+    /// and omitted — with the schema staying at v2 — everywhere else,
+    /// including all deterministic-mode snapshots).
+    pub shard: Option<ShardTelemetry>,
     /// Total harness wall-clock, ns (0 in deterministic mode).
     pub total_wall_ns: u64,
     /// Peak process RSS in bytes (0 in deterministic mode or off-Linux).
@@ -868,8 +939,15 @@ impl BenchSnapshot {
     /// Serializes the snapshot as pretty-printed JSON. Deterministic:
     /// equal snapshots are equal bytes.
     pub fn to_json(&self) -> String {
+        // The shard block is the only v3 feature, so shard-free
+        // snapshots keep writing v2 and their bytes never move.
+        let schema = if self.shard.is_some() {
+            SCHEMA_VERSION
+        } else {
+            MIN_SCHEMA_VERSION
+        };
         let mut fields = vec![
-            ("schema".to_string(), Json::Num(SCHEMA_VERSION as f64)),
+            ("schema".to_string(), Json::Num(schema as f64)),
             ("label".to_string(), Json::Str(self.label.clone())),
             ("deterministic".to_string(), Json::Bool(self.deterministic)),
             ("quick".to_string(), Json::Bool(self.quick)),
@@ -878,6 +956,21 @@ impl BenchSnapshot {
         // so simulator snapshots stay byte-identical to older builds.
         if let Some(b) = &self.backend {
             fields.push(("backend".to_string(), Json::Str(b.clone())));
+        }
+        // Additive in v3: only merged sharded-sweep snapshots carry
+        // shard provenance.
+        if let Some(s) = &self.shard {
+            fields.push((
+                "shard".to_string(),
+                Json::Obj(vec![
+                    ("shards".to_string(), Json::Num(s.shards as f64)),
+                    ("resumes".to_string(), Json::Num(s.resumes as f64)),
+                    (
+                        "heartbeat_cells".to_string(),
+                        Json::Num(s.heartbeat_cells as f64),
+                    ),
+                ]),
+            ));
         }
         fields.extend([
             (
@@ -932,9 +1025,10 @@ impl BenchSnapshot {
             .get("schema")
             .and_then(Json::as_u64)
             .ok_or("snapshot missing `schema`".to_string())?;
-        if schema != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema) {
             return Err(format!(
-                "schema version mismatch: file has {schema}, this build expects {SCHEMA_VERSION}"
+                "schema version mismatch: file has {schema}, this build expects \
+                 {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION}"
             ));
         }
         let mut snap = BenchSnapshot::new(
@@ -954,6 +1048,18 @@ impl BenchSnapshot {
             .get("backend")
             .and_then(Json::as_str)
             .map(str::to_string);
+        if let Some(s) = v.get("shard") {
+            let shard_u = |name: &str| -> Result<u64, String> {
+                s.get(name)
+                    .and_then(Json::as_u64)
+                    .ok_or(format!("shard missing `{name}`"))
+            };
+            snap.shard = Some(ShardTelemetry {
+                shards: shard_u("shards")?,
+                resumes: shard_u("resumes")?,
+                heartbeat_cells: shard_u("heartbeat_cells")?,
+            });
+        }
         snap.total_wall_ns = v
             .get("total_wall_ns")
             .and_then(Json::as_u64)
@@ -1133,6 +1239,12 @@ pub fn diff(base: &BenchSnapshot, new: &BenchSnapshot, opts: &DiffOptions) -> Di
             base.backend, new.backend
         ));
     }
+    if base.shard != new.shard {
+        r.notes.push(format!(
+            "shard provenance {:?} -> {:?} (not gated)",
+            base.shard, new.shard
+        ));
+    }
     if base.peak_rss_bytes > 0 && new.peak_rss_bytes > 0 {
         r.notes.push(format!(
             "peak RSS {} -> {} bytes (not gated)",
@@ -1267,6 +1379,52 @@ mod tests {
         let json = sample_snapshot().to_json().replace("\"schema\": 2", "\"schema\": 999");
         let err = BenchSnapshot::parse(&json).unwrap_err();
         assert!(err.contains("schema version mismatch"), "{err}");
+    }
+
+    #[test]
+    fn shard_block_is_additive_and_bumps_schema() {
+        // Shard-free snapshots keep writing schema v2 with no shard key
+        // — this is what holds the checked-in baseline byte-identical.
+        let plain = sample_snapshot();
+        let plain_json = plain.to_json();
+        assert!(plain_json.contains("\"schema\": 2"));
+        assert!(!plain_json.contains("\"shard\""));
+
+        // Merged sharded snapshots carry the block and schema v3, and
+        // round-trip byte-exactly.
+        let mut sharded = sample_snapshot();
+        sharded.shard = Some(ShardTelemetry {
+            shards: 3,
+            resumes: 1,
+            heartbeat_cells: 8,
+        });
+        let json = sharded.to_json();
+        assert!(json.contains("\"schema\": 3"));
+        let parsed = BenchSnapshot::parse(&json).unwrap();
+        assert_eq!(parsed, sharded);
+        assert_eq!(parsed.to_json(), json);
+
+        // Shard drift is provenance, not behaviour: note, never breach.
+        let r = diff(&plain, &sharded, &DiffOptions::default());
+        assert!(r.clean(), "{:?}", r.breaches);
+        assert!(r.notes.iter().any(|n| n.contains("shard provenance")));
+    }
+
+    #[test]
+    fn render_compact_is_single_line_and_parses_back() {
+        let v = Json::Obj(vec![
+            ("v".to_string(), Json::Num(1.0)),
+            ("kind".to_string(), Json::Str("heartbeat".to_string())),
+            (
+                "xs".to_string(),
+                Json::Arr(vec![Json::Num(1.0), Json::Bool(true), Json::Null]),
+            ),
+            ("obj".to_string(), Json::Obj(vec![])),
+        ]);
+        let line = v.render_compact();
+        assert_eq!(line, r#"{"v":1,"kind":"heartbeat","xs":[1,true,null],"obj":{}}"#);
+        assert!(!line.contains('\n'));
+        assert_eq!(Json::parse(&line).unwrap(), v);
     }
 
     #[test]

@@ -63,7 +63,9 @@ const USAGE: &str = "usage: explore --scenario <name|corpus> \
   --trace PATH  on a violation, write the failing run's fence trace as\n\
               Perfetto-loadable JSON (suffixed per design)\n\
   --metrics PATH  write a harness-telemetry snapshot (JSON, one entry per\n\
-              design sweep) to PATH; compare snapshots with `perfdiff`";
+              design sweep) to PATH; compare snapshots with `perfdiff`\n\
+  ASF_SHARDS/ASF_SHARD_ID in the environment partition the seed sweep\n\
+              round-robin across fleet processes (default 1/0: whole sweep)";
 
 /// Writes a counterexample's trace next to `path`, suffixed with the
 /// design so `--design all` runs don't overwrite each other. Returns
@@ -181,6 +183,11 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let corpus = scenarios.len() > 1;
+
+    // ASF_SHARDS / ASF_SHARD_ID partition the seed space across fleet
+    // processes (each runs the seeds it owns; `runs` charges the owned
+    // count). Unset, the shard is the whole space and nothing changes.
+    cfg.shard = asymfence_common::par::Shard::from_env();
 
     let ex = Explorer::new(cfg).with_jobs(jobs);
     let bound = bound.unwrap_or(if quick { 1 } else { 2 });

@@ -53,6 +53,12 @@ pub struct ExploreConfig {
     pub shrink_seed_window: u64,
     /// Hard budget on simulator runs spent shrinking.
     pub max_shrink_runs: u64,
+    /// Seed-space partition for sharded sweeps: only seeds this shard
+    /// owns are run (round-robin by seed index), and clean runs charge
+    /// the owned count. The default ([`par::Shard::whole`]) sweeps every
+    /// seed, leaving single-process behaviour untouched. Shrinking is
+    /// not sharded — it replays from one found seed.
+    pub shard: par::Shard,
 }
 
 impl Default for ExploreConfig {
@@ -66,6 +72,7 @@ impl Default for ExploreConfig {
             watchdog_cycles: 20_000,
             shrink_seed_window: 12,
             max_shrink_runs: 3_000,
+            shard: par::Shard::whole(),
         }
     }
 }
@@ -328,16 +335,19 @@ impl Explorer {
     {
         let jobs = par::resolve_jobs((self.jobs > 0).then_some(self.jobs));
         let hit = par::par_min_find(jobs, self.cfg.seeds, |seed| {
+            if !self.cfg.shard.owns(seed) {
+                return None;
+            }
             let mut m = build(self.cfg.perturbation(seed));
             self.check_machine(&mut m)
         });
         match hit {
             Some((seed, failure)) => OracleReport {
-                runs: seed + 1,
+                runs: self.cfg.shard.owned_in(seed + 1),
                 violation: Some((seed, failure)),
             },
             None => OracleReport {
-                runs: self.cfg.seeds,
+                runs: self.cfg.shard.owned_in(self.cfg.seeds),
                 violation: None,
             },
         }
@@ -382,6 +392,9 @@ impl Explorer {
     pub fn sweep(&self, scenario: &Scenario, design: FenceDesign) -> SweepReport {
         let jobs = par::resolve_jobs((self.jobs > 0).then_some(self.jobs));
         let hit = par::par_min_find(jobs, self.cfg.seeds, |seed| {
+            if !self.cfg.shard.owns(seed) {
+                return None;
+            }
             self.run_seed(scenario, design, seed)
         });
         match hit {
@@ -389,13 +402,13 @@ impl Explorer {
                 let (cex, shrink_runs) = self.shrink(scenario.clone(), design, seed, failure);
                 SweepReport {
                     design,
-                    runs: seed + 1 + shrink_runs,
+                    runs: self.cfg.shard.owned_in(seed + 1) + shrink_runs,
                     violation: Some(cex),
                 }
             }
             None => SweepReport {
                 design,
-                runs: self.cfg.seeds,
+                runs: self.cfg.shard.owned_in(self.cfg.seeds),
                 violation: None,
             },
         }
@@ -738,5 +751,40 @@ mod tests {
         let a = ex.run_seed(&sc, FenceDesign::WPlus, 3);
         let b = ex.run_seed(&sc, FenceDesign::WPlus, 3);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sharded_clean_sweeps_charge_the_owned_count_and_cover_all_seeds() {
+        let seeds = 10;
+        let sc = Scenario::store_buffering(true).with_roles_for(FenceDesign::SPlus);
+        let mut total_runs = 0;
+        for id in 0..3 {
+            let ex = Explorer::new(ExploreConfig {
+                seeds,
+                shard: par::Shard::new(id, 3),
+                ..ExploreConfig::default()
+            })
+            .with_jobs(1);
+            let report = ex.sweep(&sc, FenceDesign::SPlus);
+            assert!(report.clean());
+            assert_eq!(report.runs, par::Shard::new(id, 3).owned_in(seeds));
+            total_runs += report.runs;
+        }
+        // The three shards together charge exactly the whole-sweep budget.
+        assert_eq!(total_runs, seeds);
+    }
+
+    #[test]
+    fn whole_shard_sweep_is_unchanged_by_the_shard_field() {
+        let cfg = ExploreConfig {
+            seeds: 6,
+            ..ExploreConfig::default()
+        };
+        assert!(cfg.shard.is_whole());
+        let ex = Explorer::new(cfg).with_jobs(1);
+        let sc = Scenario::store_buffering(true).with_roles_for(FenceDesign::WsPlus);
+        let report = ex.sweep(&sc, FenceDesign::WsPlus);
+        assert!(report.clean());
+        assert_eq!(report.runs, 6);
     }
 }

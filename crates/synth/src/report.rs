@@ -66,7 +66,11 @@ pub fn run_with(
         seeds: seed_budget(opts.quick),
         ..Default::default()
     });
-    let mut synth = Synthesizer::new(explorer, runner.clone(), asymfence_bench::SEED);
+    // ASF_SHARDS/ASF_SHARD_ID partition the *mask* space across fleet
+    // processes; the oracle explorer above stays whole so each owned
+    // mask is still validated over every seed.
+    let mut synth = Synthesizer::new(explorer, runner.clone(), asymfence_bench::SEED)
+        .with_shard(asymfence_common::par::Shard::from_env());
     if let Some(bound) = exhaustive {
         synth = synth.with_exhaustive(bound);
     }

@@ -179,6 +179,14 @@ pub struct Synthesizer {
     /// default) keeps the sampled oracle byte-identical to earlier
     /// releases.
     pub exhaustive: Option<DporConfig>,
+    /// Mask-space partition for sharded sweeps: only masks this shard
+    /// owns (round-robin by mask value) are enumerated, and the charged
+    /// [`SearchStats`] count only the owned work — shard stats sum to
+    /// the single-process totals. The oracle explorer inside stays
+    /// *whole* regardless (each owned mask is validated over the full
+    /// seed budget; sharding both layers would skip seeds). Defaults to
+    /// the whole space.
+    pub shard: asymfence_common::par::Shard,
     memo: HashMap<(FenceDesign, &'static str, u64), u64>,
 }
 
@@ -192,8 +200,18 @@ impl Synthesizer {
             runner,
             seed,
             exhaustive: None,
+            shard: asymfence_common::par::Shard::whole(),
             memo: HashMap::new(),
         }
+    }
+
+    /// Restricts the search to the masks `shard` owns (see the `shard`
+    /// field); merging the per-shard bests by `(cycles, mask)` and
+    /// summing the per-shard stats reproduces the whole-space search.
+    #[must_use]
+    pub fn with_shard(mut self, shard: asymfence_common::par::Shard) -> Self {
+        self.shard = shard;
+        self
     }
 
     /// Switches oracle validation to bounded-exhaustive exploration at
@@ -323,6 +341,12 @@ impl Synthesizer {
         // Phase 1+2: enumerate, prune, oracle-validate (ascending mask
         // order keeps every downstream artifact deterministic).
         for mask in 0..(1u64 << n_sites) {
+            // Sharded search: masks another shard owns are skipped before
+            // any accounting, so per-shard stats sum to the whole-space
+            // totals.
+            if !self.shard.owns(mask) {
+                continue;
+            }
             stats.enumerated += 1;
             if let Some(reason) = groups::structural_reject(design, groups, mask) {
                 stats.pruned += 1;
